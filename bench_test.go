@@ -1,0 +1,239 @@
+package ksettop
+
+import (
+	"strings"
+	"testing"
+
+	"ksettop/internal/combinat"
+	"ksettop/internal/experiments"
+	"ksettop/internal/graph"
+	"ksettop/internal/model"
+	"ksettop/internal/protocol"
+	"ksettop/internal/topology"
+)
+
+// One benchmark per experiment in the DESIGN.md index (E1–E12). Each
+// iteration regenerates the experiment's table and fails the benchmark on
+// any MISMATCH/FAIL row, so `go test -bench=.` doubles as the reproduction
+// harness.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	var runner experiments.Runner
+	for _, r := range experiments.All() {
+		if r.ID == id {
+			runner = r
+		}
+	}
+	if runner.Run == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		table, err := runner.Run()
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if text := table.Render(); strings.Contains(text, "MISMATCH") || strings.Contains(text, "FAIL") {
+			b.Fatalf("%s has failing rows:\n%s", id, text)
+		}
+	}
+}
+
+func BenchmarkE1Figure1(b *testing.B)                    { benchExperiment(b, "E1") }
+func BenchmarkE2UninterpretedSimplex(b *testing.B)       { benchExperiment(b, "E2") }
+func BenchmarkE3Pseudosphere(b *testing.B)               { benchExperiment(b, "E3") }
+func BenchmarkE4Shellability(b *testing.B)               { benchExperiment(b, "E4") }
+func BenchmarkE5SimpleBounds(b *testing.B)               { benchExperiment(b, "E5") }
+func BenchmarkE6GeneralUpper(b *testing.B)               { benchExperiment(b, "E6") }
+func BenchmarkE7GeneralLower(b *testing.B)               { benchExperiment(b, "E7") }
+func BenchmarkE8CycleProduct(b *testing.B)               { benchExperiment(b, "E8") }
+func BenchmarkE9CoveringSequences(b *testing.B)          { benchExperiment(b, "E9") }
+func BenchmarkE10StarUnions(b *testing.B)                { benchExperiment(b, "E10") }
+func BenchmarkE11UninterpretedConnectivity(b *testing.B) { benchExperiment(b, "E11") }
+func BenchmarkE12MultiRound(b *testing.B)                { benchExperiment(b, "E12") }
+func BenchmarkE13TournamentGap(b *testing.B)             { benchExperiment(b, "E13") }
+
+// Micro-benchmarks for the core computations the experiments are built on.
+
+func BenchmarkDominationNumber(b *testing.B) {
+	g, err := graph.BidirectionalRing(12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Each node covers 3 consecutive ring positions: γ = ⌈12/3⌉ = 4.
+		if got := combinat.DominationNumber(g); got != 4 {
+			b.Fatalf("γ = %d, want 4", got)
+		}
+	}
+}
+
+func BenchmarkEqualDomination(b *testing.B) {
+	g, err := graph.Cycle(20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := combinat.EqualDominationNumber(g); got != 19 {
+			b.Fatalf("γ_eq = %d, want 19", got)
+		}
+	}
+}
+
+func BenchmarkCoveringNumbers(b *testing.B) {
+	g, err := graph.Cycle(14)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for idx := 1; idx <= 7; idx++ {
+			if _, err := combinat.CoveringNumber(g, idx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkDistributedDomination(b *testing.B) {
+	m, err := model.UnionOfStarsModel(6, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gens := m.Generators()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := combinat.DistributedDominationNumber(gens); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGraphProductPower(b *testing.B) {
+	g, err := graph.Cycle(32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.Power(g, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSymClosure(b *testing.B) {
+	g, err := graph.UnionOfStars(6, []int{0, 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		closure, err := graph.SymClosure([]graph.Digraph{g})
+		if err != nil || len(closure) != 15 {
+			b.Fatalf("closure %d graphs, err %v", len(closure), err)
+		}
+	}
+}
+
+func BenchmarkProtocolComplexBuild(b *testing.B) {
+	m, err := model.NonEmptyKernelModel(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs, err := topology.InputAssignments(3, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := topology.ProtocolComplexOneRound(m.Generators(), inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHomologyBetti(b *testing.B) {
+	m, err := model.NonEmptyKernelModel(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := topology.UninterpretedComplex(m.Generators())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ac, _, err := c.ToAbstract()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		betti, err := topology.ReducedBettiNumbers(ac, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, v := range betti {
+			if v != 0 {
+				b.Fatalf("betti %v, want zeros", betti)
+			}
+		}
+	}
+}
+
+func BenchmarkExecutorRun(b *testing.B) {
+	g, err := graph.BidirectionalRing(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := protocol.Execution{
+		Graphs:  []graph.Digraph{g, g, g, g},
+		Initial: []protocol.Value{7, 3, 5, 1, 0, 6, 2, 4},
+	}
+	algo := protocol.MinAlgorithm{R: 4}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := protocol.Run(e, algo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorstCaseSweep(b *testing.B) {
+	m, err := model.NonEmptyKernelModel(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gens := m.Generators()
+	algo := protocol.MinAlgorithm{R: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := protocol.WorstCase(gens, 3, 1, algo, 1_000_000)
+		if err != nil || res.WorstDistinct != 3 {
+			b.Fatalf("worst %d, err %v", res.WorstDistinct, err)
+		}
+	}
+}
+
+func BenchmarkDecisionMapSolver(b *testing.B) {
+	m, err := model.NonEmptyKernelModel(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var all []graph.Digraph
+	if err := m.EnumerateGraphs(func(g graph.Digraph) bool {
+		all = append(all, g)
+		return true
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := protocol.SolveOneRound(all, 3, 2, 50_000_000)
+		if err != nil || res.Solvable {
+			b.Fatalf("solvable=%v err=%v, want impossibility", res.Solvable, err)
+		}
+	}
+}

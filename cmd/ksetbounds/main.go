@@ -1,0 +1,88 @@
+// Command ksetbounds computes the paper's k-set agreement bounds for a
+// closed-above model.
+//
+// Usage:
+//
+//	ksetbounds -model stars:n=5,s=2 -rounds 3
+//	ksetbounds -model adj:'0>1 2;1>2;2>0' -rounds 2 -verify
+//
+// With -verify, the best one-round bounds are additionally re-checked by
+// exhaustive simulation (upper) and exhaustive decision-map search plus
+// protocol-complex connectivity (lower) when the instance is small enough.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ksettop/internal/cli"
+	"ksettop/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ksetbounds:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	spec := flag.String("model", "star:n=4", "model specification (see package doc)")
+	rounds := flag.Int("rounds", 1, "analyze rounds 1..r")
+	verify := flag.Bool("verify", false, "re-check the one-round bounds mechanically")
+	flag.Parse()
+
+	m, err := cli.ParseModel(*spec)
+	if err != nil {
+		return err
+	}
+	a, err := core.Analyze(m, *rounds)
+	if err != nil {
+		return err
+	}
+	fmt.Print(a.Render())
+
+	if !*verify {
+		return nil
+	}
+	up, err := core.BestUpperOneRound(m)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("verify upper %d-set by simulation: ", up.K)
+	if err := core.VerifyUpperBySimulation(m, up, 4_000_000); err != nil {
+		fmt.Println("FAIL:", err)
+	} else {
+		fmt.Println("ok")
+	}
+	lo, err := core.BestLowerOneRound(m)
+	if err != nil {
+		return err
+	}
+	if lo.K < 1 {
+		fmt.Println("verify lower: vacuous (k = 0), nothing to check")
+		return nil
+	}
+	fmt.Printf("verify lower %d-set by decision-map search: ", lo.K)
+	if m.N() <= 4 {
+		if err := core.VerifyLowerBySolver(m, lo, 50_000_000); err != nil {
+			fmt.Println("FAIL:", err)
+		} else {
+			fmt.Println("ok")
+		}
+	} else {
+		fmt.Println("skipped (n > 4)")
+	}
+	fmt.Printf("verify lower %d-set by protocol-complex connectivity: ", lo.K)
+	if m.N() <= 3 {
+		if err := core.VerifyLowerByTopology(m, lo); err != nil {
+			fmt.Println("FAIL:", err)
+		} else {
+			fmt.Println("ok")
+		}
+	} else {
+		fmt.Println("skipped (n > 3)")
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+// Command ksetexperiments regenerates every table and figure reproduction
+// indexed in DESIGN.md (E1–E12) and prints them as plain-text tables — the
+// source of record for EXPERIMENTS.md.
+//
+// Usage:
+//
+//	ksetexperiments             # run everything
+//	ksetexperiments -only E1,E8 # run a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ksettop/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ksetexperiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	only := flag.String("only", "", "comma-separated experiment IDs (default all)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	failures := 0
+	for _, r := range experiments.All() {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		start := time.Now()
+		table, err := r.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.ID, err)
+		}
+		text := table.Render()
+		fmt.Print(text)
+		fmt.Printf("(%s in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		if strings.Contains(text, "MISMATCH") || strings.Contains(text, "FAIL") {
+			failures++
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d experiment(s) had failing rows", failures)
+	}
+	return nil
+}

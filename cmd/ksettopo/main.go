@@ -1,0 +1,130 @@
+// Command ksettopo explores the §4 topology of a closed-above model: the
+// uninterpreted complex (Def 4.4), the one-round protocol complex
+// (Def 4.14), their homology (GF(2) and integral), and the nerve structure
+// of the pseudosphere cover.
+//
+// Usage:
+//
+//	ksettopo -model star:n=3 -values 3
+//	ksettopo -model simple-cycle:n=4 -values 2 -maxdim 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ksettop/internal/cli"
+	"ksettop/internal/model"
+	"ksettop/internal/topology"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ksettopo:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	spec := flag.String("model", "star:n=3", "model specification (see ksetbounds)")
+	values := flag.Int("values", 2, "input values for the protocol complex")
+	maxDim := flag.Int("maxdim", -1, "homology dimension cap (default n−2)")
+	flag.Parse()
+
+	m, err := cli.ParseModel(*spec)
+	if err != nil {
+		return err
+	}
+	dim := *maxDim
+	if dim < 0 {
+		dim = m.N() - 2
+	}
+	fmt.Println(m)
+
+	if err := reportUninterpreted(m, dim); err != nil {
+		return err
+	}
+	return reportProtocol(m, *values, dim)
+}
+
+func reportUninterpreted(m *model.ClosedAbove, dim int) error {
+	cover, err := topology.UninterpretedCover(m.Generators())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nuninterpreted complex C_A (Def 4.4):\n")
+	totalFacets := 0
+	for i, ps := range cover {
+		totalFacets += ps.FacetCount()
+		if i < 4 {
+			fmt.Printf("  pseudosphere %d: %d facets, Lemma 4.7 bound: %d-connected\n",
+				i, ps.FacetCount(), ps.ConnectivityBound())
+		}
+	}
+	if len(cover) > 4 {
+		fmt.Printf("  … %d more pseudospheres\n", len(cover)-4)
+	}
+	c, err := topology.UninterpretedComplex(m.Generators())
+	if err != nil {
+		return err
+	}
+	ac, _, err := c.ToAbstract()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  union: %d facets (%d before dedup), dim %d, pure=%v, χ=%d\n",
+		ac.FacetCount(), totalFacets, ac.Dimension(), ac.IsPure(), ac.EulerCharacteristic())
+
+	betti, err := topology.ReducedBettiNumbers(ac, dim)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  GF(2) reduced betti up to dim %d: %v\n", dim, betti)
+	ih, err := topology.IntegerHomologyGroups(ac, dim)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  integral homology: %s\n", ih)
+	ok, _, err := topology.IsIntegrallyKConnected(ac, m.N()-2)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  Thm 4.12 check ((n−2)-connected): %v\n", ok)
+	return nil
+}
+
+func reportProtocol(m *model.ClosedAbove, values, dim int) error {
+	inputs, err := topology.InputAssignments(m.N(), values)
+	if err != nil {
+		return err
+	}
+	pc, err := topology.ProtocolComplexOneRound(m.Generators(), inputs)
+	if err != nil {
+		return err
+	}
+	ac, verts, err := pc.ToAbstract()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\none-round protocol complex over %d values (Def 4.14):\n", values)
+	fmt.Printf("  %d input facets × %d generators → %d facets, %d vertices\n",
+		len(inputs), m.GeneratorCount(), ac.FacetCount(), len(verts))
+
+	betti, err := topology.ReducedBettiNumbers(ac, dim)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  GF(2) reduced betti up to dim %d: %v\n", dim, betti)
+	for k := 0; k <= dim; k++ {
+		if betti[k] != 0 {
+			fmt.Printf("  verdict: NOT %d-connected → no obstruction to %d-set agreement at k=%d\n",
+				k, k+1, k+1)
+			return nil
+		}
+	}
+	fmt.Printf("  verdict: %d-connected → (k ≤ %d)-set agreement impossible in one round\n",
+		dim, dim+1)
+	fmt.Printf("  ([HKR13] Thm 10.3.1 / paper Thm 5.4 premise)\n")
+	return nil
+}

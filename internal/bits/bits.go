@@ -1,0 +1,173 @@
+// Package bits provides small fixed-width sets of process indices.
+//
+// Every object in this repository that ranges over processes — communication
+// graphs, dominating sets, simplex color sets, views — is ultimately a set of
+// process indices in [0, n) with n ≤ MaxElems. Representing those sets as a
+// single machine word keeps the exponential-subset enumerations used by the
+// combinatorial numbers (domination, covering, …) cheap and allocation-free.
+package bits
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// MaxElems is the largest universe size supported by Set.
+const MaxElems = 64
+
+// Set is a subset of {0, …, 63} stored as a bit mask.
+//
+// The zero value is the empty set and ready to use.
+type Set uint64
+
+// New returns the set containing exactly the given members.
+func New(members ...int) Set {
+	var s Set
+	for _, m := range members {
+		s = s.With(m)
+	}
+	return s
+}
+
+// Full returns the set {0, …, n-1}.
+func Full(n int) Set {
+	if n <= 0 {
+		return 0
+	}
+	if n >= MaxElems {
+		return ^Set(0)
+	}
+	return Set(1)<<uint(n) - 1
+}
+
+// Single returns the singleton {i}.
+func Single(i int) Set { return Set(1) << uint(i) }
+
+// With returns s ∪ {i}.
+func (s Set) With(i int) Set { return s | Set(1)<<uint(i) }
+
+// Without returns s \ {i}.
+func (s Set) Without(i int) Set { return s &^ (Set(1) << uint(i)) }
+
+// Has reports whether i ∈ s.
+func (s Set) Has(i int) bool { return s&(Set(1)<<uint(i)) != 0 }
+
+// Count returns |s|.
+func (s Set) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// IsEmpty reports whether s is the empty set.
+func (s Set) IsEmpty() bool { return s == 0 }
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set { return s | t }
+
+// Inter returns s ∩ t.
+func (s Set) Inter(t Set) Set { return s & t }
+
+// Diff returns s \ t.
+func (s Set) Diff(t Set) Set { return s &^ t }
+
+// ContainsAll reports whether t ⊆ s.
+func (s Set) ContainsAll(t Set) bool { return t&^s == 0 }
+
+// Intersects reports whether s ∩ t ≠ ∅.
+func (s Set) Intersects(t Set) bool { return s&t != 0 }
+
+// Min returns the smallest member of s, or -1 if s is empty.
+func (s Set) Min() int {
+	if s == 0 {
+		return -1
+	}
+	return bits.TrailingZeros64(uint64(s))
+}
+
+// Members returns the members of s in increasing order.
+func (s Set) Members() []int {
+	out := make([]int, 0, s.Count())
+	for t := s; t != 0; t &= t - 1 {
+		out = append(out, bits.TrailingZeros64(uint64(t)))
+	}
+	return out
+}
+
+// ForEach calls f on every member of s in increasing order.
+func (s Set) ForEach(f func(i int)) {
+	for t := s; t != 0; t &= t - 1 {
+		f(bits.TrailingZeros64(uint64(t)))
+	}
+}
+
+// String renders the set as "{0,2,5}".
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(strconv.Itoa(i))
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Combinations calls f on every k-element subset of {0, …, n-1} in
+// lexicographically increasing mask order. Enumeration stops early if f
+// returns false. It reports whether enumeration ran to completion.
+//
+// It uses Gosper's hack to step between same-popcount masks without
+// allocation.
+func Combinations(n, k int, f func(Set) bool) bool {
+	if k < 0 || k > n {
+		return true
+	}
+	if k == 0 {
+		return f(0)
+	}
+	limit := uint64(1) << uint(n)
+	v := uint64(1)<<uint(k) - 1
+	for v < limit {
+		if !f(Set(v)) {
+			return false
+		}
+		// Gosper's hack: next integer with the same popcount.
+		c := v & (^v + 1)
+		r := v + c
+		v = (((v ^ r) >> 2) / c) | r
+		if c == 0 { // k == 64 edge: avoid div-by-zero loops
+			break
+		}
+	}
+	return true
+}
+
+// Subsets calls f on every subset of s (including the empty set and s
+// itself). Enumeration stops early if f returns false. It reports whether
+// enumeration ran to completion.
+func Subsets(s Set, f func(Set) bool) bool {
+	sub := Set(0)
+	for {
+		if !f(sub) {
+			return false
+		}
+		if sub == s {
+			return true
+		}
+		sub = (sub - s) & s // next subset of s in counting order
+	}
+}
+
+// SupersetsWithin calls f on every set t with lo ⊆ t ⊆ hi. Enumeration stops
+// early if f returns false. It reports whether enumeration ran to completion.
+func SupersetsWithin(lo, hi Set, f func(Set) bool) bool {
+	if !hi.ContainsAll(lo) {
+		return true
+	}
+	free := hi.Diff(lo)
+	return Subsets(free, func(extra Set) bool {
+		return f(lo.Union(extra))
+	})
+}

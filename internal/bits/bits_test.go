@@ -1,0 +1,248 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndMembers(t *testing.T) {
+	tests := []struct {
+		name    string
+		members []int
+		want    []int
+	}{
+		{"empty", nil, []int{}},
+		{"single", []int{3}, []int{3}},
+		{"sorted output", []int{5, 1, 3}, []int{1, 3, 5}},
+		{"duplicates collapse", []int{2, 2, 2}, []int{2}},
+		{"boundaries", []int{0, 63}, []int{0, 63}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := New(tt.members...).Members()
+			if len(got) != len(tt.want) {
+				t.Fatalf("Members() = %v, want %v", got, tt.want)
+			}
+			for i := range got {
+				if got[i] != tt.want[i] {
+					t.Fatalf("Members() = %v, want %v", got, tt.want)
+				}
+			}
+		})
+	}
+}
+
+func TestFull(t *testing.T) {
+	tests := []struct {
+		n    int
+		want int
+	}{
+		{-1, 0}, {0, 0}, {1, 1}, {5, 5}, {63, 63}, {64, 64}, {100, 64},
+	}
+	for _, tt := range tests {
+		if got := Full(tt.n).Count(); got != tt.want {
+			t.Errorf("Full(%d).Count() = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+	if !Full(5).Has(4) || Full(5).Has(5) {
+		t.Errorf("Full(5) has wrong membership: %v", Full(5))
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	s := New(1, 2, 3)
+	u := New(3, 4)
+
+	if got := s.Union(u); got != New(1, 2, 3, 4) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := s.Inter(u); got != New(3) {
+		t.Errorf("Inter = %v", got)
+	}
+	if got := s.Diff(u); got != New(1, 2) {
+		t.Errorf("Diff = %v", got)
+	}
+	if !s.ContainsAll(New(1, 3)) {
+		t.Errorf("ContainsAll(New(1,3)) = false, want true")
+	}
+	if s.ContainsAll(New(1, 5)) {
+		t.Errorf("ContainsAll(New(1,5)) = true, want false")
+	}
+	if !s.Intersects(u) || s.Intersects(New(0, 7)) {
+		t.Errorf("Intersects wrong")
+	}
+	if got := s.Without(2); got != New(1, 3) {
+		t.Errorf("Without = %v", got)
+	}
+	if got := s.With(0); got != New(0, 1, 2, 3) {
+		t.Errorf("With = %v", got)
+	}
+}
+
+func TestMin(t *testing.T) {
+	if got := Set(0).Min(); got != -1 {
+		t.Errorf("empty Min = %d, want -1", got)
+	}
+	if got := New(5, 9).Min(); got != 5 {
+		t.Errorf("Min = %d, want 5", got)
+	}
+	if got := Single(63).Min(); got != 63 {
+		t.Errorf("Min = %d, want 63", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	tests := []struct {
+		s    Set
+		want string
+	}{
+		{0, "{}"},
+		{New(2), "{2}"},
+		{New(0, 2, 5), "{0,2,5}"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestCombinationsCountsMatchBinomial(t *testing.T) {
+	binom := func(n, k int) int {
+		if k < 0 || k > n {
+			return 0
+		}
+		r := 1
+		for i := 0; i < k; i++ {
+			r = r * (n - i) / (i + 1)
+		}
+		return r
+	}
+	for n := 0; n <= 12; n++ {
+		for k := 0; k <= n; k++ {
+			count := 0
+			Combinations(n, k, func(s Set) bool {
+				if s.Count() != k {
+					t.Fatalf("Combinations(%d,%d) produced set of size %d", n, k, s.Count())
+				}
+				if !Full(n).ContainsAll(s) {
+					t.Fatalf("Combinations(%d,%d) produced out-of-range set %v", n, k, s)
+				}
+				count++
+				return true
+			})
+			if want := binom(n, k); count != want {
+				t.Errorf("Combinations(%d,%d) yielded %d sets, want %d", n, k, count, want)
+			}
+		}
+	}
+}
+
+func TestCombinationsEarlyStop(t *testing.T) {
+	count := 0
+	done := Combinations(6, 3, func(Set) bool {
+		count++
+		return count < 4
+	})
+	if done {
+		t.Errorf("Combinations reported completion despite early stop")
+	}
+	if count != 4 {
+		t.Errorf("Combinations visited %d sets after early stop, want 4", count)
+	}
+}
+
+func TestCombinationsDegenerate(t *testing.T) {
+	ran := 0
+	Combinations(5, 0, func(s Set) bool {
+		if s != 0 {
+			t.Errorf("k=0 produced nonempty set %v", s)
+		}
+		ran++
+		return true
+	})
+	if ran != 1 {
+		t.Errorf("k=0 yielded %d sets, want 1", ran)
+	}
+	Combinations(3, 5, func(Set) bool {
+		t.Errorf("k>n should yield nothing")
+		return true
+	})
+	Combinations(3, -1, func(Set) bool {
+		t.Errorf("k<0 should yield nothing")
+		return true
+	})
+}
+
+func TestSubsets(t *testing.T) {
+	s := New(1, 4, 6)
+	seen := map[Set]bool{}
+	Subsets(s, func(sub Set) bool {
+		if !s.ContainsAll(sub) {
+			t.Fatalf("subset %v not contained in %v", sub, s)
+		}
+		if seen[sub] {
+			t.Fatalf("subset %v enumerated twice", sub)
+		}
+		seen[sub] = true
+		return true
+	})
+	if len(seen) != 8 {
+		t.Errorf("Subsets yielded %d sets, want 8", len(seen))
+	}
+	if !seen[0] || !seen[s] {
+		t.Errorf("Subsets missed empty or full subset")
+	}
+}
+
+func TestSupersetsWithin(t *testing.T) {
+	lo, hi := New(1), New(1, 2, 3)
+	seen := map[Set]bool{}
+	SupersetsWithin(lo, hi, func(s Set) bool {
+		if !s.ContainsAll(lo) || !hi.ContainsAll(s) {
+			t.Fatalf("set %v outside [%v, %v]", s, lo, hi)
+		}
+		seen[s] = true
+		return true
+	})
+	if len(seen) != 4 {
+		t.Errorf("SupersetsWithin yielded %d sets, want 4", len(seen))
+	}
+	// lo ⊄ hi yields nothing.
+	SupersetsWithin(New(5), New(1, 2), func(Set) bool {
+		t.Errorf("SupersetsWithin with lo ⊄ hi should yield nothing")
+		return true
+	})
+}
+
+func TestQuickUnionIntersectionLaws(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+	deMorgan := func(a, b uint64) bool {
+		s, u := Set(a), Set(b)
+		lhs := s.Union(u).Count()
+		rhs := s.Count() + u.Count() - s.Inter(u).Count()
+		return lhs == rhs
+	}
+	if err := quick.Check(deMorgan, cfg); err != nil {
+		t.Errorf("inclusion-exclusion law failed: %v", err)
+	}
+	diffLaw := func(a, b uint64) bool {
+		s, u := Set(a), Set(b)
+		return s.Diff(u).Union(s.Inter(u)) == s
+	}
+	if err := quick.Check(diffLaw, cfg); err != nil {
+		t.Errorf("diff partition law failed: %v", err)
+	}
+}
+
+func TestQuickMembersRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}
+	roundTrip := func(a uint64) bool {
+		s := Set(a)
+		return New(s.Members()...) == s
+	}
+	if err := quick.Check(roundTrip, cfg); err != nil {
+		t.Errorf("Members/New round trip failed: %v", err)
+	}
+}

@@ -1,0 +1,77 @@
+package cli
+
+import (
+	"testing"
+
+	"ksettop/internal/graph"
+)
+
+func TestParseModelKinds(t *testing.T) {
+	tests := []struct {
+		spec      string
+		n         int
+		gens      int
+		simple    bool
+		symmetric bool
+	}{
+		{"star:n=4", 4, 4, false, true},
+		{"stars:n=4,s=2", 4, 6, false, true},
+		{"cycle:n=4", 4, 6, false, true},
+		{"simple-star:n=5", 5, 1, true, false},
+		{"simple-cycle:n=4", 4, 1, true, false},
+		{"clique:n=3", 3, 1, true, true},
+		// The non-split predicate is permutation-invariant, so its minimal
+		// generator set is symmetric.
+		{"nonsplit:n=3", 3, 5, false, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.spec, func(t *testing.T) {
+			m, err := ParseModel(tt.spec)
+			if err != nil {
+				t.Fatalf("ParseModel(%q): %v", tt.spec, err)
+			}
+			if m.N() != tt.n {
+				t.Errorf("n = %d, want %d", m.N(), tt.n)
+			}
+			if m.GeneratorCount() != tt.gens {
+				t.Errorf("generators = %d, want %d", m.GeneratorCount(), tt.gens)
+			}
+			if m.IsSimple() != tt.simple {
+				t.Errorf("simple = %v, want %v", m.IsSimple(), tt.simple)
+			}
+			if m.IsSymmetric() != tt.symmetric {
+				t.Errorf("symmetric = %v, want %v", m.IsSymmetric(), tt.symmetric)
+			}
+		})
+	}
+}
+
+func TestParseModelAdjacency(t *testing.T) {
+	m, err := ParseModel("adj:0>1 2;1>2;2>")
+	if err != nil {
+		t.Fatalf("ParseModel: %v", err)
+	}
+	want, _ := graph.FromAdjacency([][]int{{1, 2}, {2}, {}})
+	if !m.Generators()[0].Equal(want) {
+		t.Errorf("parsed graph %v, want %v", m.Generators()[0], want)
+	}
+}
+
+func TestParseModelErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"star",
+		"star:x=4",
+		"star:n=abc",
+		"stars:n=4",
+		"unknown:n=3",
+		"adj:1>0;0>1",
+		"adj:nonsense",
+		"adj:0>9",
+		"star:n=0",
+	} {
+		if _, err := ParseModel(spec); err == nil {
+			t.Errorf("ParseModel(%q) should fail", spec)
+		}
+	}
+}

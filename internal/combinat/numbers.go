@@ -1,0 +1,282 @@
+// Package combinat computes the graph-combinatorial numbers the paper's
+// bounds are stated in: the domination number γ (Def 3.1), the
+// equal-domination number γ_eq (Def 3.3), the covering numbers cov_i
+// (Def 3.6), the distributed domination number γ_dist (Def 5.2), the
+// max-covering numbers and coefficients (Def 5.3), and the covering-number
+// sequences (Def 6.6 / Def 6.8).
+//
+// All computations are exact. They enumerate subsets, so they are
+// exponential in the number of processes — as are the quantities themselves
+// (domination is NP-hard); the paper's models use small n.
+package combinat
+
+import (
+	"fmt"
+
+	"ksettop/internal/bits"
+	"ksettop/internal/graph"
+)
+
+// DominationNumber returns γ(G) (Def 3.1): the size of the smallest set P
+// with ⋃_{p∈P} Out(p) = Π. Self-loops guarantee γ(G) ≤ n.
+func DominationNumber(g graph.Digraph) int {
+	p, _ := MinDominatingSet(g)
+	return p.Count()
+}
+
+// MinDominatingSet returns a minimum dominating set of g (the first in
+// lexicographic mask order) and its size.
+func MinDominatingSet(g graph.Digraph) (bits.Set, int) {
+	n := g.N()
+	full := g.Procs()
+	for size := 1; size <= n; size++ {
+		var found bits.Set
+		ok := false
+		bits.Combinations(n, size, func(p bits.Set) bool {
+			if g.OutSet(p) == full {
+				found, ok = p, true
+				return false
+			}
+			return true
+		})
+		if ok {
+			return found, size
+		}
+	}
+	// Unreachable: Π itself always dominates because of self-loops.
+	return full, n
+}
+
+// EqualDominationNumber returns γ_eq(G) (Def 3.3 applied to one graph): the
+// least i such that EVERY set of i processes dominates G.
+//
+// It uses the closed form 1 + max_q (n − |In(q)|): a set P fails to dominate
+// exactly when it avoids In(q) for some q, and the largest such P is
+// Π \ In(q) for the q with fewest in-neighbors. The brute-force definition
+// is kept in tests as an oracle.
+func EqualDominationNumber(g graph.Digraph) int {
+	n := g.N()
+	worst := 0
+	for q := 0; q < n; q++ {
+		if miss := n - g.In(q).Count(); miss > worst {
+			worst = miss
+		}
+	}
+	return worst + 1
+}
+
+// EqualDominationNumberSet returns γ_eq(S) = max_{G∈S} γ_eq(G) (Def 3.3).
+func EqualDominationNumberSet(gens []graph.Digraph) (int, error) {
+	if len(gens) == 0 {
+		return 0, fmt.Errorf("combinat: γ_eq of empty graph set")
+	}
+	maxEq := 0
+	for _, g := range gens {
+		if eq := EqualDominationNumber(g); eq > maxEq {
+			maxEq = eq
+		}
+	}
+	return maxEq, nil
+}
+
+// CoveringNumber returns cov_i(G) (Def 3.6 applied to one graph): the
+// minimum, over sets P of i processes, of |⋃_{p∈P} Out(p)|. Self-loops give
+// cov_i(G) ≥ i.
+func CoveringNumber(g graph.Digraph, i int) (int, error) {
+	n := g.N()
+	if i < 1 || i > n {
+		return 0, fmt.Errorf("combinat: covering index %d outside [1,%d]", i, n)
+	}
+	best := n
+	bits.Combinations(n, i, func(p bits.Set) bool {
+		if c := g.OutSet(p).Count(); c < best {
+			best = c
+		}
+		return best > i // cov_i ≥ i, so stop at the floor
+	})
+	return best, nil
+}
+
+// CoveringNumberSet returns cov_i(S) = min_{G∈S} cov_i(G) (Def 3.6).
+func CoveringNumberSet(gens []graph.Digraph, i int) (int, error) {
+	if len(gens) == 0 {
+		return 0, fmt.Errorf("combinat: cov_%d of empty graph set", i)
+	}
+	best := 0
+	for idx, g := range gens {
+		c, err := CoveringNumber(g, i)
+		if err != nil {
+			return 0, err
+		}
+		if idx == 0 || c < best {
+			best = c
+		}
+	}
+	return best, nil
+}
+
+// DistributedDominationNumber returns γ_dist(S) (Def 5.2): the least i > 0
+// such that every set P of i processes, together with every subset S_i of S
+// of size min(i,|S|), satisfies ⋃_{G∈S_i} Out_G(P) = Π.
+//
+// Because self-loops make Π dominate everything, γ_dist(S) ≤ n. It also
+// holds that γ_dist(S) ≤ γ_eq(S).
+func DistributedDominationNumber(gens []graph.Digraph) (int, error) {
+	if len(gens) == 0 {
+		return 0, fmt.Errorf("combinat: γ_dist of empty graph set")
+	}
+	n := gens[0].N()
+	for i := 1; i <= n; i++ {
+		if distDominatesAll(gens, i) {
+			return i, nil
+		}
+	}
+	return n, nil
+}
+
+// distDominatesAll reports whether every (P, S_i) combination of size i
+// jointly dominates Π.
+func distDominatesAll(gens []graph.Digraph, i int) bool {
+	n := gens[0].N()
+	full := bits.Full(n)
+	si := i
+	if si > len(gens) {
+		si = len(gens)
+	}
+	ok := true
+	bits.Combinations(n, i, func(p bits.Set) bool {
+		bits.Combinations(len(gens), si, func(gsel bits.Set) bool {
+			var union bits.Set
+			gsel.ForEach(func(gi int) { union = union.Union(gens[gi].OutSet(p)) })
+			if union != full {
+				ok = false
+			}
+			return ok
+		})
+		return ok
+	})
+	return ok
+}
+
+// DistributedDominationNumberEffective returns the value of γ_dist(S) that
+// the paper's worked examples and Theorem 6.13 actually use.
+//
+// Def 5.2 read literally quantifies over subsets S_i of exactly min(i,|S|)
+// graphs dominating *jointly* (that is what DistributedDominationNumber
+// computes). The paper's star-union computation (§5 and Appendix G) instead
+// exhibits a single non-dominated graph as the failure witness — under that
+// semantics the failure condition is "some P of size i fails to dominate
+// some graph", which makes γ_dist(S) coincide with γ_eq(S). Only this
+// reading reproduces γ_dist = n−s+1 for the union-of-s-stars family and
+// hence the tight Theorem 6.13 bound; see DESIGN.md ("Substitutions").
+func DistributedDominationNumberEffective(gens []graph.Digraph) (int, error) {
+	return EqualDominationNumberSet(gens)
+}
+
+// MaxCoveringNumber returns max-cov_i(S) (Def 5.3): the maximum, over sets P
+// of i processes and subsets S_i ⊆ S of size min(i,|S|) whose joint
+// out-union is NOT all of Π, of |⋃_{G∈S_i} Out_G(P)|.
+//
+// The second return is false when no such non-dominating combination exists
+// (which happens exactly when i ≥ γ_dist(S)).
+func MaxCoveringNumber(gens []graph.Digraph, i int) (int, bool, error) {
+	if len(gens) == 0 {
+		return 0, false, fmt.Errorf("combinat: max-cov of empty graph set")
+	}
+	n := gens[0].N()
+	if i < 1 || i > n {
+		return 0, false, fmt.Errorf("combinat: max-cov index %d outside [1,%d]", i, n)
+	}
+	full := bits.Full(n)
+	si := i
+	if si > len(gens) {
+		si = len(gens)
+	}
+	best, found := 0, false
+	bits.Combinations(n, i, func(p bits.Set) bool {
+		bits.Combinations(len(gens), si, func(gsel bits.Set) bool {
+			var union bits.Set
+			gsel.ForEach(func(gi int) { union = union.Union(gens[gi].OutSet(p)) })
+			if union != full {
+				found = true
+				if c := union.Count(); c > best {
+					best = c
+				}
+			}
+			return true
+		})
+		return true
+	})
+	return best, found, nil
+}
+
+// MaxCoveringNumberEffective returns max-cov_i(S) under the same witness
+// semantics as DistributedDominationNumberEffective: the subset S_i may have
+// any size in [1, min(i,|S|)] rather than exactly min(i,|S|). It is defined
+// for i < γ_eq(S) (second return false otherwise). Allowing smaller witness
+// sets only adds candidates, so the effective value is ≥ the literal Def 5.3
+// value whenever both are defined.
+func MaxCoveringNumberEffective(gens []graph.Digraph, i int) (int, bool, error) {
+	if len(gens) == 0 {
+		return 0, false, fmt.Errorf("combinat: max-cov of empty graph set")
+	}
+	n := gens[0].N()
+	if i < 1 || i > n {
+		return 0, false, fmt.Errorf("combinat: max-cov index %d outside [1,%d]", i, n)
+	}
+	full := bits.Full(n)
+	maxSize := i
+	if maxSize > len(gens) {
+		maxSize = len(gens)
+	}
+	best, found := 0, false
+	for size := 1; size <= maxSize; size++ {
+		bits.Combinations(n, i, func(p bits.Set) bool {
+			bits.Combinations(len(gens), size, func(gsel bits.Set) bool {
+				var union bits.Set
+				gsel.ForEach(func(gi int) { union = union.Union(gens[gi].OutSet(p)) })
+				if union != full {
+					found = true
+					if c := union.Count(); c > best {
+						best = c
+					}
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return best, found, nil
+}
+
+// MaxCoveringCoefficientEffective returns M_i(S) computed from
+// MaxCoveringNumberEffective, with the Def 5.3 formula.
+func MaxCoveringCoefficientEffective(gens []graph.Digraph, i int) (int, bool, error) {
+	mc, ok, err := MaxCoveringNumberEffective(gens, i)
+	if err != nil || !ok {
+		return 0, ok, err
+	}
+	n := gens[0].N()
+	if mc == i {
+		return n - i, true, nil
+	}
+	return (n - i - 1) / (mc - i), true, nil
+}
+
+// MaxCoveringCoefficient returns M_i(S) (Def 5.3):
+//
+//	⌊(n-i-1)/(max-cov_i(S)-i)⌋  if max-cov_i(S) > i
+//	n - i                        if max-cov_i(S) = i
+//
+// It is only defined for i < γ_dist(S); the second return is false otherwise.
+func MaxCoveringCoefficient(gens []graph.Digraph, i int) (int, bool, error) {
+	mc, ok, err := MaxCoveringNumber(gens, i)
+	if err != nil || !ok {
+		return 0, ok, err
+	}
+	n := gens[0].N()
+	if mc == i {
+		return n - i, true, nil
+	}
+	return (n - i - 1) / (mc - i), true, nil
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"ksettop/internal/graph"
+	"ksettop/internal/model"
+)
+
+func TestVerifyUpperBySimulation(t *testing.T) {
+	// Thm 3.2 on ↑star (γ = 1) and Cor 3.5 on Sym(star) (γ_eq = n).
+	star, _ := graph.Star(3, 0)
+	simple, _ := model.Simple(star)
+	up, err := BestUpperOneRound(simple)
+	if err != nil {
+		t.Fatalf("BestUpperOneRound: %v", err)
+	}
+	if err := VerifyUpperBySimulation(simple, up, 2_000_000); err != nil {
+		t.Errorf("Thm 3.2 verification failed: %v", err)
+	}
+
+	sym := kernelModel(t, 3)
+	upSym, _ := BestUpperOneRound(sym)
+	if err := VerifyUpperBySimulation(sym, upSym, 2_000_000); err != nil {
+		t.Errorf("Cor 3.5 verification failed: %v", err)
+	}
+
+	// A deliberately wrong (too strong) claim must be caught.
+	tooStrong := upSym
+	tooStrong.K = 1
+	if err := VerifyUpperBySimulation(sym, tooStrong, 2_000_000); err == nil {
+		t.Errorf("overclaimed upper bound should fail verification")
+	}
+}
+
+func TestVerifyUpperMultiRound(t *testing.T) {
+	// ↑cycle on n=4, 3 rounds: consensus via min (covering sequence).
+	cyc, _ := graph.Cycle(4)
+	m, _ := model.Simple(cyc)
+	up, err := BestUpperMultiRound(m, 3)
+	if err != nil {
+		t.Fatalf("BestUpperMultiRound: %v", err)
+	}
+	if up.K != 1 {
+		t.Fatalf("upper = %d, want 1", up.K)
+	}
+	if err := VerifyUpperBySimulation(m, up, 8_000_000); err != nil {
+		t.Errorf("3-round consensus verification failed: %v", err)
+	}
+}
+
+func TestVerifyLowerBySolver(t *testing.T) {
+	m := kernelModel(t, 3)
+	lo, err := BestLowerOneRound(m)
+	if err != nil {
+		t.Fatalf("BestLowerOneRound: %v", err)
+	}
+	if lo.K != 2 {
+		t.Fatalf("lower = %d, want 2", lo.K)
+	}
+	if err := VerifyLowerBySolver(m, lo, 10_000_000); err != nil {
+		t.Errorf("solver verification failed: %v", err)
+	}
+
+	// An overclaimed impossibility (3-set with n=3 is trivially solvable)
+	// must be refuted by the solver.
+	wrong := lo
+	wrong.K = 3
+	if err := VerifyLowerBySolver(m, wrong, 10_000_000); err == nil {
+		t.Errorf("overclaimed lower bound should fail verification")
+	}
+
+	// Vacuous bounds pass trivially.
+	vacuous := lo
+	vacuous.K = 0
+	if err := VerifyLowerBySolver(m, vacuous, 10); err != nil {
+		t.Errorf("vacuous bound should verify: %v", err)
+	}
+}
+
+func TestVerifyLowerByTopology(t *testing.T) {
+	m := kernelModel(t, 3)
+	lo, _ := BestLowerOneRound(m)
+	if err := VerifyLowerByTopology(m, lo); err != nil {
+		t.Errorf("topology verification failed: %v", err)
+	}
+
+	// The clique model solves consensus, so its protocol complex is
+	// disconnected: claiming 1-set impossibility must fail the check.
+	clique, _ := graph.Complete(3)
+	cm, _ := model.Simple(clique)
+	bogus := LowerBound{K: 1, Rounds: 1, Theorem: "bogus"}
+	if err := VerifyLowerByTopology(cm, bogus); err == nil {
+		t.Errorf("clique model protocol complex is disconnected; claim should fail")
+	}
+}
+
+func TestVerifyUninterpretedConnectivity(t *testing.T) {
+	for _, m := range []*model.ClosedAbove{kernelModel(t, 3), kernelModel(t, 4), fig1bModel(t)} {
+		if err := VerifyUninterpretedConnectivity(m); err != nil {
+			t.Errorf("Thm 4.12 verification failed on %v: %v", m, err)
+		}
+	}
+}
+
+func TestVerifySimpleCycleLowerAllRoutes(t *testing.T) {
+	// ↑cycle n=3: 1-set impossible in one round (Thm 5.1, γ = 2). Check by
+	// solver and by topology.
+	cyc, _ := graph.Cycle(3)
+	m, _ := model.Simple(cyc)
+	lo, _ := BestLowerOneRound(m)
+	if lo.K != 1 {
+		t.Fatalf("lower = %d, want 1", lo.K)
+	}
+	if err := VerifyLowerBySolver(m, lo, 10_000_000); err != nil {
+		t.Errorf("solver route failed: %v", err)
+	}
+	if err := VerifyLowerByTopology(m, lo); err != nil {
+		t.Errorf("topology route failed: %v", err)
+	}
+}

@@ -1,0 +1,106 @@
+// Package experiments regenerates every figure and worked example in the
+// paper's evaluation-bearing sections, as indexed in DESIGN.md (E1–E12).
+// Each experiment returns a Table whose rows state the paper's claim next to
+// the measured value; EXPERIMENTS.md is the recorded output.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's result table.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row, stringifying the cells.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a footnote.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render formats the table as aligned plain text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner is a named experiment.
+type Runner struct {
+	ID  string
+	Run func() (*Table, error)
+}
+
+// All returns every experiment in DESIGN.md order.
+func All() []Runner {
+	return []Runner{
+		{"E1", E1Figure1},
+		{"E2", E2UninterpretedSimplex},
+		{"E3", E3Pseudosphere},
+		{"E4", E4Shellability},
+		{"E5", E5SimpleBounds},
+		{"E6", E6GeneralUpper},
+		{"E7", E7GeneralLower},
+		{"E8", E8CycleProduct},
+		{"E9", E9CoveringSequences},
+		{"E10", E10StarUnions},
+		{"E11", E11UninterpretedConnectivity},
+		{"E12", E12MultiRound},
+		{"E13", E13TournamentGap},
+	}
+}
+
+func check(cond bool) string {
+	if cond {
+		return "ok"
+	}
+	return "MISMATCH"
+}

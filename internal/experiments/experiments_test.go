@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsPass runs every experiment and fails on any MISMATCH or
+// FAIL cell — this is the repository's end-to-end reproduction gate.
+func TestAllExperimentsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are exhaustive sweeps; skipped in -short mode")
+	}
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			table, err := r.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			text := table.Render()
+			if strings.Contains(text, "MISMATCH") || strings.Contains(text, "FAIL") {
+				t.Errorf("%s has failing rows:\n%s", r.ID, text)
+			}
+			if len(table.Rows) == 0 {
+				t.Errorf("%s produced no rows", r.ID)
+			}
+		})
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	table := &Table{
+		ID:      "T",
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+	}
+	table.AddRow(1, "x")
+	table.AddRow("long-cell", 2)
+	table.AddNote("note %d", 7)
+	text := table.Render()
+	for _, want := range []string{"== T: demo ==", "long-cell", "note: note 7"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q:\n%s", want, text)
+		}
+	}
+}

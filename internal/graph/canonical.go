@@ -1,0 +1,58 @@
+package graph
+
+// CanonicalKey returns a permutation-invariant key: the lexicographically
+// smallest Key over all relabelings of g. Two graphs are isomorphic exactly
+// when their canonical keys agree. The search is factorial in n; intended
+// for the small process counts used throughout (n ≤ 8).
+func CanonicalKey(g Digraph) string {
+	best := ""
+	Permutations(g.N(), func(perm []int) bool {
+		p, err := Permute(g, perm)
+		if err != nil {
+			return false
+		}
+		if key := p.Key(); best == "" || key < best {
+			best = key
+		}
+		return true
+	})
+	return best
+}
+
+// IsIsomorphic reports whether g and h differ only by a relabeling of
+// processes.
+func IsIsomorphic(g, h Digraph) bool {
+	if g.N() != h.N() {
+		return false
+	}
+	if g.EdgeCount() != h.EdgeCount() {
+		return false
+	}
+	return CanonicalKey(g) == CanonicalKey(h)
+}
+
+// OrbitSize returns |Sym({g})|: the number of distinct relabelings of g,
+// i.e. n! divided by the order of g's automorphism group.
+func OrbitSize(g Digraph) (int, error) {
+	closure, err := SymClosure([]Digraph{g})
+	if err != nil {
+		return 0, err
+	}
+	return len(closure), nil
+}
+
+// AutomorphismCount returns the order of g's automorphism group.
+func AutomorphismCount(g Digraph) int {
+	count := 0
+	Permutations(g.N(), func(perm []int) bool {
+		p, err := Permute(g, perm)
+		if err != nil {
+			return false
+		}
+		if p.Equal(g) {
+			count++
+		}
+		return true
+	})
+	return count
+}

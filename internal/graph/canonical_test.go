@@ -1,0 +1,71 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCanonicalKeyInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 30; trial++ {
+		g, _ := Random(5, rng.Float64(), rng)
+		perm := rng.Perm(5)
+		p, err := Permute(g, perm)
+		if err != nil {
+			t.Fatalf("Permute: %v", err)
+		}
+		if CanonicalKey(g) != CanonicalKey(p) {
+			t.Fatalf("canonical key changed under relabeling of %v", g)
+		}
+	}
+}
+
+func TestIsIsomorphic(t *testing.T) {
+	s0, _ := Star(4, 0)
+	s2, _ := Star(4, 2)
+	if !IsIsomorphic(s0, s2) {
+		t.Errorf("stars with different centers are isomorphic")
+	}
+	cyc, _ := Cycle(4)
+	if IsIsomorphic(s0, cyc) {
+		t.Errorf("star and cycle are not isomorphic")
+	}
+	small := MustNew(3)
+	if IsIsomorphic(s0, small) {
+		t.Errorf("different sizes are not isomorphic")
+	}
+	// Same edge count, different structure: path 0→1→2 with extra 0→2
+	// versus star: both 5 edges on n=3? Build: star(3,0): 5 edges.
+	a := MustNew(3)
+	a.AddEdge(0, 1)
+	a.AddEdge(1, 2)
+	b, _ := Star(3, 0)
+	if a.EdgeCount() == b.EdgeCount() && IsIsomorphic(a, b) {
+		t.Errorf("chain and star must differ")
+	}
+}
+
+func TestOrbitAndAutomorphisms(t *testing.T) {
+	// Orbit size × automorphism count = n!.
+	star, _ := Star(4, 0)
+	orbit, err := OrbitSize(star)
+	if err != nil {
+		t.Fatalf("OrbitSize: %v", err)
+	}
+	auts := AutomorphismCount(star)
+	if orbit != 4 || auts != 6 {
+		t.Errorf("star(4): orbit %d auts %d, want 4 and 3! = 6", orbit, auts)
+	}
+	if orbit*auts != 24 {
+		t.Errorf("orbit·|Aut| = %d, want 4! = 24", orbit*auts)
+	}
+
+	clique, _ := Complete(4)
+	if got := AutomorphismCount(clique); got != 24 {
+		t.Errorf("clique automorphisms = %d, want 24", got)
+	}
+	cyc, _ := Cycle(5)
+	if got := AutomorphismCount(cyc); got != 5 {
+		t.Errorf("directed 5-cycle automorphisms = %d, want 5 (rotations)", got)
+	}
+}

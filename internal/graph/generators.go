@@ -1,0 +1,155 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ksettop/internal/bits"
+)
+
+// Complete returns the clique on n processes (every message delivered).
+func Complete(n int) (Digraph, error) {
+	g, err := New(n)
+	if err != nil {
+		return Digraph{}, err
+	}
+	full := bits.Full(n)
+	for u := 0; u < n; u++ {
+		g.out[u] = full
+	}
+	return g, nil
+}
+
+// Star returns the star graph centered at center: the center broadcasts to
+// everyone, all other processes send only to themselves (Def 6.12 with a
+// single center).
+func Star(n, center int) (Digraph, error) {
+	return UnionOfStars(n, []int{center})
+}
+
+// UnionOfStars returns the union of stars with the given centers: every
+// center broadcasts, every non-center is silent (Def 6.12).
+func UnionOfStars(n int, centers []int) (Digraph, error) {
+	g, err := New(n)
+	if err != nil {
+		return Digraph{}, err
+	}
+	full := bits.Full(n)
+	for _, c := range centers {
+		if c < 0 || c >= n {
+			return Digraph{}, fmt.Errorf("graph: star center %d outside [0,%d)", c, n)
+		}
+		g.out[c] = full
+	}
+	return g, nil
+}
+
+// Cycle returns the directed cycle 0→1→…→(n-1)→0 (plus self-loops), as in
+// the §6.1 product example.
+func Cycle(n int) (Digraph, error) {
+	g, err := New(n)
+	if err != nil {
+		return Digraph{}, err
+	}
+	for u := 0; u < n; u++ {
+		g.out[u] = g.out[u].With((u + 1) % n)
+	}
+	return g, nil
+}
+
+// BidirectionalRing returns the ring with edges in both directions.
+func BidirectionalRing(n int) (Digraph, error) {
+	g, err := New(n)
+	if err != nil {
+		return Digraph{}, err
+	}
+	for u := 0; u < n; u++ {
+		g.out[u] = g.out[u].With((u + 1) % n).With((u + n - 1) % n)
+	}
+	return g, nil
+}
+
+// DirectedPath returns the path 0→1→…→(n-1) (plus self-loops).
+func DirectedPath(n int) (Digraph, error) {
+	g, err := New(n)
+	if err != nil {
+		return Digraph{}, err
+	}
+	for u := 0; u+1 < n; u++ {
+		g.out[u] = g.out[u].With(u + 1)
+	}
+	return g, nil
+}
+
+// OutTree returns the complete binary out-tree rooted at 0: node u sends to
+// 2u+1 and 2u+2 when they exist.
+func OutTree(n int) (Digraph, error) {
+	g, err := New(n)
+	if err != nil {
+		return Digraph{}, err
+	}
+	for u := 0; u < n; u++ {
+		if l := 2*u + 1; l < n {
+			g.out[u] = g.out[u].With(l)
+		}
+		if r := 2*u + 2; r < n {
+			g.out[u] = g.out[u].With(r)
+		}
+	}
+	return g, nil
+}
+
+// BipartiteCross returns the graph where every process in [0,m) sends to
+// every process in [m,n) and vice versa (plus self-loops).
+func BipartiteCross(n, m int) (Digraph, error) {
+	if m < 0 || m > n {
+		return Digraph{}, fmt.Errorf("graph: bipartite split %d outside [0,%d]", m, n)
+	}
+	g, err := New(n)
+	if err != nil {
+		return Digraph{}, err
+	}
+	left, right := bits.Full(m), bits.Full(n).Diff(bits.Full(m))
+	for u := 0; u < n; u++ {
+		if left.Has(u) {
+			g.out[u] = g.out[u].Union(right)
+		} else {
+			g.out[u] = g.out[u].Union(left)
+		}
+	}
+	return g, nil
+}
+
+// Random returns a graph on n processes where every non-loop edge is present
+// independently with probability p.
+func Random(n int, p float64, rng *rand.Rand) (Digraph, error) {
+	g, err := New(n)
+	if err != nil {
+		return Digraph{}, err
+	}
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v && rng.Float64() < p {
+				g.out[u] = g.out[u].With(v)
+			}
+		}
+	}
+	return g, nil
+}
+
+// FromAdjacency builds a graph from explicit out-neighbor lists. Self-loops
+// are added automatically.
+func FromAdjacency(adj [][]int) (Digraph, error) {
+	g, err := New(len(adj))
+	if err != nil {
+		return Digraph{}, err
+	}
+	for u, row := range adj {
+		for _, v := range row {
+			if err := g.AddEdge(u, v); err != nil {
+				return Digraph{}, err
+			}
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,265 @@
+// Package graph implements the directed communication graphs that define
+// round-based models (paper §2.1).
+//
+// A communication graph has one node per process; an edge u→v means "v
+// receives the round-r message of u". Following the paper, every graph
+// carries all self-loops (a process always hears itself), and graphs are
+// compared by edge containment: H ∈ ↑G iff E(H) ⊇ E(G).
+package graph
+
+import (
+	"fmt"
+	"strings"
+
+	"ksettop/internal/bits"
+)
+
+// MaxProcs is the largest supported number of processes. Adjacency rows are
+// one machine word each, which keeps the exponential subset enumerations in
+// internal/combinat allocation-free.
+const MaxProcs = 63
+
+// Digraph is a directed communication graph over processes 0..n-1 with
+// mandatory self-loops.
+//
+// The zero value is not usable; construct with New or a generator.
+type Digraph struct {
+	n   int
+	out []bits.Set // out[u] = set of v with edge u→v; always contains u
+}
+
+// New returns the graph on n processes containing only self-loops.
+func New(n int) (Digraph, error) {
+	if n < 1 || n > MaxProcs {
+		return Digraph{}, fmt.Errorf("graph: process count %d outside [1,%d]", n, MaxProcs)
+	}
+	g := Digraph{n: n, out: make([]bits.Set, n)}
+	for u := 0; u < n; u++ {
+		g.out[u] = bits.Single(u)
+	}
+	return g, nil
+}
+
+// MustNew is New for statically valid sizes; it panics on invalid n.
+// Intended for tests and package-internal generator construction.
+func MustNew(n int) Digraph {
+	g, err := New(n)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// N returns the number of processes.
+func (g Digraph) N() int { return g.n }
+
+// Procs returns the full process set {0,…,n-1}.
+func (g Digraph) Procs() bits.Set { return bits.Full(g.n) }
+
+// Clone returns a deep copy of g.
+func (g Digraph) Clone() Digraph {
+	out := make([]bits.Set, g.n)
+	copy(out, g.out)
+	return Digraph{n: g.n, out: out}
+}
+
+// AddEdge adds the edge u→v (no-op if present). It returns an error if an
+// endpoint is out of range.
+func (g *Digraph) AddEdge(u, v int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("graph: edge (%d,%d) outside graph of size %d", u, v, g.n)
+	}
+	g.out[u] = g.out[u].With(v)
+	return nil
+}
+
+// RemoveEdge removes the edge u→v. Self-loops cannot be removed (the paper's
+// models always deliver a process's own value to itself); attempting to is an
+// error.
+func (g *Digraph) RemoveEdge(u, v int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("graph: edge (%d,%d) outside graph of size %d", u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: cannot remove mandatory self-loop (%d,%d)", u, v)
+	}
+	g.out[u] = g.out[u].Without(v)
+	return nil
+}
+
+// HasEdge reports whether the edge u→v is present.
+func (g Digraph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return false
+	}
+	return g.out[u].Has(v)
+}
+
+// Out returns Out(u): the set of processes that hear u (including u).
+func (g Digraph) Out(u int) bits.Set { return g.out[u] }
+
+// In returns In(v): the set of processes v hears from (including v).
+func (g Digraph) In(v int) bits.Set {
+	var in bits.Set
+	for u := 0; u < g.n; u++ {
+		if g.out[u].Has(v) {
+			in = in.With(u)
+		}
+	}
+	return in
+}
+
+// OutSet returns ⋃_{u∈P} Out(u), the processes that hear at least one member
+// of P.
+func (g Digraph) OutSet(p bits.Set) bits.Set {
+	var out bits.Set
+	p.ForEach(func(u int) { out = out.Union(g.out[u]) })
+	return out
+}
+
+// InSet returns ⋃_{v∈P} In(v).
+func (g Digraph) InSet(p bits.Set) bits.Set {
+	var in bits.Set
+	p.ForEach(func(v int) { in = in.Union(g.In(v)) })
+	return in
+}
+
+// EdgeCount returns the number of edges, self-loops included.
+func (g Digraph) EdgeCount() int {
+	total := 0
+	for u := 0; u < g.n; u++ {
+		total += g.out[u].Count()
+	}
+	return total
+}
+
+// Equal reports whether g and h have identical vertex and edge sets.
+func (g Digraph) Equal(h Digraph) bool {
+	if g.n != h.n {
+		return false
+	}
+	for u := 0; u < g.n; u++ {
+		if g.out[u] != h.out[u] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSubgraphOf reports whether E(g) ⊆ E(h), i.e. h ∈ ↑g (Def 2.3).
+func (g Digraph) IsSubgraphOf(h Digraph) bool {
+	if g.n != h.n {
+		return false
+	}
+	for u := 0; u < g.n; u++ {
+		if !h.out[u].ContainsAll(g.out[u]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns the graph with edge set E(g) ∪ E(h). Both graphs must have
+// the same process count.
+func (g Digraph) Union(h Digraph) (Digraph, error) {
+	if g.n != h.n {
+		return Digraph{}, fmt.Errorf("graph: union of mismatched sizes %d and %d", g.n, h.n)
+	}
+	u := g.Clone()
+	for v := 0; v < g.n; v++ {
+		u.out[v] = u.out[v].Union(h.out[v])
+	}
+	return u, nil
+}
+
+// Key returns a canonical comparable representation of g, usable as a map
+// key for deduplication.
+func (g Digraph) Key() string {
+	var b strings.Builder
+	b.Grow(g.n * 8)
+	for u := 0; u < g.n; u++ {
+		row := uint64(g.out[u])
+		for i := 0; i < 8; i++ {
+			b.WriteByte(byte(row >> (8 * i)))
+		}
+	}
+	return b.String()
+}
+
+// String renders g as an adjacency list, e.g. "0→{0,1} 1→{1}".
+func (g Digraph) String() string {
+	var b strings.Builder
+	for u := 0; u < g.n; u++ {
+		if u > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d→%s", u, g.out[u])
+	}
+	return b.String()
+}
+
+// DOT renders g in Graphviz DOT format (self-loops omitted for legibility).
+func (g Digraph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n", name)
+	for u := 0; u < g.n; u++ {
+		fmt.Fprintf(&b, "  p%d;\n", u)
+	}
+	for u := 0; u < g.n; u++ {
+		g.out[u].ForEach(func(v int) {
+			if v != u {
+				fmt.Fprintf(&b, "  p%d -> p%d;\n", u, v)
+			}
+		})
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// IsStronglyConnected reports whether every process can reach every other
+// process along directed edges.
+func (g Digraph) IsStronglyConnected() bool {
+	for s := 0; s < g.n; s++ {
+		if g.reachFrom(s) != g.Procs() {
+			return false
+		}
+	}
+	return true
+}
+
+// reachFrom returns the set of processes reachable from s (including s).
+func (g Digraph) reachFrom(s int) bits.Set {
+	seen := bits.Single(s)
+	frontier := bits.Single(s)
+	for !frontier.IsEmpty() {
+		next := bits.Set(0)
+		frontier.ForEach(func(u int) { next = next.Union(g.out[u]) })
+		frontier = next.Diff(seen)
+		seen = seen.Union(next)
+	}
+	return seen
+}
+
+// HasKernel reports whether some process broadcasts to everyone (the
+// non-empty kernel predicate from §2.1).
+func (g Digraph) HasKernel() bool {
+	for u := 0; u < g.n; u++ {
+		if g.out[u] == g.Procs() {
+			return true
+		}
+	}
+	return false
+}
+
+// IsNonSplit reports whether every pair of processes hears from a common
+// process (the non-split predicate from §2.1).
+func (g Digraph) IsNonSplit() bool {
+	for v := 0; v < g.n; v++ {
+		for w := v + 1; w < g.n; w++ {
+			if !g.In(v).Intersects(g.In(w)) {
+				return false
+			}
+		}
+	}
+	return true
+}

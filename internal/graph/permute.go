@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Permute returns π(g): the graph with edge π(u)→π(v) for every edge u→v of
+// g. perm must be a permutation of 0..n-1.
+func Permute(g Digraph, perm []int) (Digraph, error) {
+	if len(perm) != g.n {
+		return Digraph{}, fmt.Errorf("graph: permutation length %d != %d", len(perm), g.n)
+	}
+	seen := make([]bool, g.n)
+	for _, v := range perm {
+		if v < 0 || v >= g.n || seen[v] {
+			return Digraph{}, fmt.Errorf("graph: %v is not a permutation of 0..%d", perm, g.n-1)
+		}
+		seen[v] = true
+	}
+	p := MustNew(g.n)
+	for u := 0; u < g.n; u++ {
+		g.out[u].ForEach(func(v int) {
+			p.out[perm[u]] = p.out[perm[u]].With(perm[v])
+		})
+	}
+	return p, nil
+}
+
+// Permutations calls f on every permutation of 0..n-1 (Heap's algorithm).
+// Enumeration stops early if f returns false.
+func Permutations(n int, f func(perm []int) bool) {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == 1 {
+			return f(perm)
+		}
+		for i := 0; i < k; i++ {
+			if !rec(k - 1) {
+				return false
+			}
+			if k%2 == 0 {
+				perm[i], perm[k-1] = perm[k-1], perm[i]
+			} else {
+				perm[0], perm[k-1] = perm[k-1], perm[0]
+			}
+		}
+		return true
+	}
+	if n > 0 {
+		rec(n)
+	}
+}
+
+// SymClosure returns Sym(S) = {π(G) | G ∈ S, π a permutation} (Def 2.4),
+// deduplicated and in canonical order. This is exponential in n; intended
+// for the small process counts the paper's examples use.
+func SymClosure(gens []Digraph) ([]Digraph, error) {
+	if len(gens) == 0 {
+		return nil, fmt.Errorf("graph: symmetric closure of empty generator list")
+	}
+	n := gens[0].n
+	seen := make(map[string]Digraph)
+	for _, g := range gens {
+		if g.n != n {
+			return nil, fmt.Errorf("graph: mixed sizes %d and %d in generator list", n, g.n)
+		}
+		var permErr error
+		Permutations(n, func(perm []int) bool {
+			p, err := Permute(g, perm)
+			if err != nil {
+				permErr = err
+				return false
+			}
+			seen[p.Key()] = p
+			return true
+		})
+		if permErr != nil {
+			return nil, permErr
+		}
+	}
+	return collect(seen), nil
+}
+
+// IsSymmetric reports whether the generator set equals its symmetric closure
+// (Def 2.4).
+func IsSymmetric(gens []Digraph) (bool, error) {
+	closure, err := SymClosure(gens)
+	if err != nil {
+		return false, err
+	}
+	if len(closure) != len(dedup(gens)) {
+		return false, nil
+	}
+	keys := make(map[string]bool, len(gens))
+	for _, g := range gens {
+		keys[g.Key()] = true
+	}
+	for _, g := range closure {
+		if !keys[g.Key()] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func sortByKey(gs []Digraph) {
+	sort.Slice(gs, func(i, j int) bool { return gs[i].Key() < gs[j].Key() })
+}

@@ -1,0 +1,75 @@
+package model
+
+import (
+	"testing"
+
+	"ksettop/internal/graph"
+)
+
+func TestTournamentModel(t *testing.T) {
+	m, err := TournamentModel(3)
+	if err != nil {
+		t.Fatalf("TournamentModel: %v", err)
+	}
+	if m.GeneratorCount() != 8 {
+		t.Errorf("generators = %d, want 2^3 = 8 orientations", m.GeneratorCount())
+	}
+	if !m.IsSymmetric() {
+		t.Errorf("tournament model must be symmetric")
+	}
+	for _, g := range m.Generators() {
+		if !IsTournament(g) {
+			t.Errorf("generator %v is not a tournament", g)
+		}
+		// Minimality: exactly one direction per pair.
+		if g.EdgeCount() != 3+3 {
+			t.Errorf("generator %v should have exactly one edge per pair", g)
+		}
+	}
+
+	// Membership matches the predicate.
+	clique, _ := graph.Complete(3)
+	if !m.Contains(clique) {
+		t.Errorf("clique satisfies the tournament property")
+	}
+	star, _ := graph.Star(3, 0)
+	if m.Contains(star) {
+		t.Errorf("star is not a tournament: its two leaves have no edge between them")
+	}
+	loops := graph.MustNew(3)
+	if m.Contains(loops) {
+		t.Errorf("loops-only graph is not a tournament")
+	}
+
+	if _, err := TournamentModel(1); err == nil {
+		t.Errorf("n=1 should fail")
+	}
+	if _, err := TournamentModel(6); err == nil {
+		t.Errorf("n=6 should fail (2^15 generators)")
+	}
+}
+
+func TestTournamentMatchesMinimalSearch(t *testing.T) {
+	// The direct construction must agree with the monotone-predicate search.
+	direct, err := TournamentModel(3)
+	if err != nil {
+		t.Fatalf("TournamentModel: %v", err)
+	}
+	searched, err := MinimalGraphs(3, IsTournament)
+	if err != nil {
+		t.Fatalf("MinimalGraphs: %v", err)
+	}
+	if len(searched) != direct.GeneratorCount() {
+		t.Fatalf("search found %d minimal graphs, construction %d",
+			len(searched), direct.GeneratorCount())
+	}
+	keys := make(map[string]bool)
+	for _, g := range direct.Generators() {
+		keys[g.Key()] = true
+	}
+	for _, g := range searched {
+		if !keys[g.Key()] {
+			t.Errorf("searched generator %v missing from construction", g)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package protocol
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ksettop/internal/graph"
+)
+
+// Adversary chooses the communication graph of each round. Oblivious models
+// (Def 2.2) let the adversary pick independently per round, so adversaries
+// here do not observe process state.
+type Adversary interface {
+	// Name identifies the adversary in reports.
+	Name() string
+	// Pick returns the graph for the given 1-based round.
+	Pick(round int) graph.Digraph
+}
+
+// FixedAdversary plays a predetermined sequence of graphs.
+type FixedAdversary struct {
+	Graphs []graph.Digraph
+}
+
+var _ Adversary = FixedAdversary{}
+
+// Name implements Adversary.
+func (FixedAdversary) Name() string { return "fixed" }
+
+// Pick implements Adversary.
+func (a FixedAdversary) Pick(round int) graph.Digraph {
+	return a.Graphs[(round-1)%len(a.Graphs)]
+}
+
+// CyclingAdversary cycles deterministically through the generators — the
+// canonical "always play a minimal graph" adversary, which is worst-case for
+// dissemination in closed-above models.
+type CyclingAdversary struct {
+	Gens []graph.Digraph
+}
+
+var _ Adversary = CyclingAdversary{}
+
+// Name implements Adversary.
+func (CyclingAdversary) Name() string { return "cycling-generators" }
+
+// Pick implements Adversary.
+func (a CyclingAdversary) Pick(round int) graph.Digraph {
+	return a.Gens[(round-1)%len(a.Gens)]
+}
+
+// RandomAdversary plays a random generator each round with random extra
+// edges — a random element of the model.
+type RandomAdversary struct {
+	Gens      []graph.Digraph
+	ExtraProb float64
+	Rng       *rand.Rand
+}
+
+var _ Adversary = &RandomAdversary{}
+
+// Name implements Adversary.
+func (*RandomAdversary) Name() string { return "random" }
+
+// Pick implements Adversary.
+func (a *RandomAdversary) Pick(round int) graph.Digraph {
+	g := a.Gens[a.Rng.Intn(len(a.Gens))].Clone()
+	n := g.N()
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v && !g.HasEdge(u, v) && a.Rng.Float64() < a.ExtraProb {
+				_ = g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// BuildExecution materializes rounds many adversary picks plus the initial
+// values into an Execution.
+func BuildExecution(adv Adversary, rounds int, initial []Value) (Execution, error) {
+	if rounds < 1 {
+		return Execution{}, fmt.Errorf("protocol: rounds %d must be ≥ 1", rounds)
+	}
+	graphs := make([]graph.Digraph, rounds)
+	for r := 1; r <= rounds; r++ {
+		graphs[r-1] = adv.Pick(r)
+	}
+	e := Execution{Graphs: graphs, Initial: initial}
+	if err := e.Validate(); err != nil {
+		return Execution{}, err
+	}
+	return e, nil
+}

@@ -1,0 +1,98 @@
+package protocol
+
+import (
+	"fmt"
+
+	"ksettop/internal/bits"
+)
+
+// MinAlgorithm is the paper's basic upper-bound algorithm (§3, §6.2):
+// exchange known values for R rounds, then decide the minimum value heard.
+// Self-loops guarantee the view is never empty.
+type MinAlgorithm struct {
+	R int
+}
+
+var _ Algorithm = MinAlgorithm{}
+
+// Name implements Algorithm.
+func (a MinAlgorithm) Name() string { return fmt.Sprintf("min/%dr", a.R) }
+
+// Rounds implements Algorithm.
+func (a MinAlgorithm) Rounds() int { return a.R }
+
+// Decide implements Algorithm: the minimum known value.
+func (a MinAlgorithm) Decide(self int, v View) (Value, error) {
+	d, ok := v.Min()
+	if !ok {
+		return NoValue, fmt.Errorf("empty view (missing self-loop?)")
+	}
+	return d, nil
+}
+
+// DominatingSetMin is the Thm 3.2 algorithm for simple closed-above models:
+// a minimum dominating set D of the generator is fixed in advance; after one
+// round every process has heard some member of D and decides the minimum
+// value received from D.
+type DominatingSetMin struct {
+	// Dominating is the precomputed dominating set of the generator graph.
+	Dominating bits.Set
+}
+
+var _ Algorithm = DominatingSetMin{}
+
+// Name implements Algorithm.
+func (a DominatingSetMin) Name() string {
+	return fmt.Sprintf("domset-min%v", a.Dominating)
+}
+
+// Rounds implements Algorithm.
+func (DominatingSetMin) Rounds() int { return 1 }
+
+// Decide implements Algorithm: the minimum value received from the
+// dominating set. Domination guarantees at least one such value in any graph
+// of the model.
+func (a DominatingSetMin) Decide(self int, v View) (Value, error) {
+	d, ok := v.MinOver(a.Dominating)
+	if !ok {
+		return NoValue, fmt.Errorf("no value from dominating set %v; graph outside the model", a.Dominating)
+	}
+	return d, nil
+}
+
+// DecisionMap is an explicit oblivious one-round algorithm: a finite map
+// from flattened views to decisions. The impossibility solver synthesizes
+// or refutes these.
+type DecisionMap struct {
+	R int
+	// Table maps the view key (see ViewKey) to the decision.
+	Table map[string]Value
+}
+
+var _ Algorithm = DecisionMap{}
+
+// Name implements Algorithm.
+func (m DecisionMap) Name() string { return fmt.Sprintf("decision-map/%dr", m.R) }
+
+// Rounds implements Algorithm.
+func (m DecisionMap) Rounds() int { return m.R }
+
+// Decide implements Algorithm by table lookup.
+func (m DecisionMap) Decide(self int, v View) (Value, error) {
+	d, ok := m.Table[ViewKey(v)]
+	if !ok {
+		return NoValue, fmt.Errorf("view %v not in decision table", v)
+	}
+	return d, nil
+}
+
+// ViewKey canonically encodes a flattened view. Oblivious algorithms decide
+// identically on identical key strings — the key deliberately ignores which
+// process is deciding.
+func ViewKey(v View) string {
+	b := make([]byte, 0, len(v)*2)
+	for _, val := range v {
+		b = append(b, byte(val+1), ';')
+	}
+	return string(b)
+}

@@ -1,0 +1,88 @@
+package protocol
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FullView is a full-information protocol view: after round r, a process's
+// view is the sequence of views (from round r−1) of the processes it heard
+// from. Oblivious algorithms (Def 2.5) may only use its flattening.
+type FullView struct {
+	// Proc is the process holding the view.
+	Proc int
+	// Initial is the process's initial value when Heard is nil (round 0).
+	Initial Value
+	// Heard holds the previous-round views received, nil at round 0.
+	Heard []*FullView
+}
+
+// InitialFullView is the round-0 view: the process's own initial value.
+func InitialFullView(p int, initial Value) *FullView {
+	return &FullView{Proc: p, Initial: initial}
+}
+
+// RoundFullView is the view after one more round: everything heard.
+func RoundFullView(p int, heard []*FullView) *FullView {
+	sorted := make([]*FullView, len(heard))
+	copy(sorted, heard)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Proc < sorted[j].Proc })
+	return &FullView{Proc: p, Heard: sorted}
+}
+
+// Depth returns the number of communication rounds recorded in the view.
+func (f *FullView) Depth() int {
+	if f.Heard == nil {
+		return 0
+	}
+	max := 0
+	for _, h := range f.Heard {
+		if d := h.Depth(); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// Flatten implements flat(v) of Def 2.5: the set of (process, initial value)
+// pairs occurring anywhere in the nested view, as an oblivious View.
+func (f *FullView) Flatten(n int) View {
+	out := NewView(n)
+	f.flattenInto(out)
+	return out
+}
+
+func (f *FullView) flattenInto(out View) {
+	if f.Heard == nil {
+		if f.Proc < len(out) {
+			out[f.Proc] = f.Initial
+		}
+		return
+	}
+	for _, h := range f.Heard {
+		h.flattenInto(out)
+	}
+}
+
+// String renders the nested view, e.g. "p0⟨p0:1, p2⟨…⟩⟩".
+func (f *FullView) String() string {
+	var b strings.Builder
+	f.render(&b)
+	return b.String()
+}
+
+func (f *FullView) render(b *strings.Builder) {
+	if f.Heard == nil {
+		fmt.Fprintf(b, "p%d:%d", f.Proc, f.Initial)
+		return
+	}
+	fmt.Fprintf(b, "p%d⟨", f.Proc)
+	for i, h := range f.Heard {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		h.render(b)
+	}
+	b.WriteString("⟩")
+}

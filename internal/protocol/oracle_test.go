@@ -1,0 +1,117 @@
+package protocol
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ksettop/internal/graph"
+)
+
+// TestQuickExecutorMatchesProductOracle cross-validates the executor against
+// an independent characterization: after rounds G_1 … G_r, the flattened
+// view of process p is exactly {(q, v_q) | q ∈ In_{G_1⊗…⊗G_r}(p)} — the
+// in-neighborhood of the graph path product (Def 6.1). The executor never
+// computes products; agreement ties the two §6 formalisms together.
+func TestQuickExecutorMatchesProductOracle(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(606))}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(3)      // 3..5 processes
+		rounds := 1 + r.Intn(3) // 1..3 rounds
+
+		graphs := make([]graph.Digraph, rounds)
+		for i := range graphs {
+			g, err := graph.Random(n, r.Float64(), r)
+			if err != nil {
+				return false
+			}
+			graphs[i] = g
+		}
+		initial := make([]Value, n)
+		for p := range initial {
+			initial[p] = r.Intn(4)
+		}
+
+		res, err := Run(Execution{Graphs: graphs, Initial: initial}, MinAlgorithm{R: rounds})
+		if err != nil {
+			return false
+		}
+
+		product := graphs[0]
+		for _, g := range graphs[1:] {
+			product, err = graph.Product(product, g)
+			if err != nil {
+				return false
+			}
+		}
+		for p := 0; p < n; p++ {
+			want := product.In(p)
+			if res.Views[p].Known() != want {
+				t.Logf("seed %d: view[%d] knows %v, product In = %v", seed, p, res.Views[p].Known(), want)
+				return false
+			}
+			want.ForEach(func(q int) {
+				if res.Views[p][q] != initial[q] {
+					t.Logf("seed %d: view[%d][%d] = %d, want %d", seed, p, q, res.Views[p][q], initial[q])
+				}
+			})
+			// The min decision must equal the min over the product
+			// in-neighborhood.
+			min := initial[p]
+			want.ForEach(func(q int) {
+				if initial[q] < min {
+					min = initial[q]
+				}
+			})
+			if res.Decisions[p] != min {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Errorf("executor/product oracle mismatch: %v", err)
+	}
+}
+
+// TestQuickValidityAndTermination: on random closed-above executions the min
+// algorithm always terminates with a decision that is some process's input.
+func TestQuickValidityAndTermination(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(607))}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(4)
+		star, err := graph.Star(n, r.Intn(n))
+		if err != nil {
+			return false
+		}
+		rounds := 1 + r.Intn(3)
+		adv := &RandomAdversary{Gens: []graph.Digraph{star}, ExtraProb: r.Float64(), Rng: r}
+		initial := make([]Value, n)
+		for p := range initial {
+			initial[p] = r.Intn(3)
+		}
+		e, err := BuildExecution(adv, rounds, initial)
+		if err != nil {
+			return false
+		}
+		res, err := Run(e, MinAlgorithm{R: rounds})
+		if err != nil {
+			return false
+		}
+		valid := make(map[Value]bool, n)
+		for _, v := range initial {
+			valid[v] = true
+		}
+		for _, d := range res.Decisions {
+			if !valid[d] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Errorf("validity/termination failed: %v", err)
+	}
+}

@@ -1,0 +1,219 @@
+// Package protocol implements the round-based execution substrate: a
+// Heard-Of–style executor for communication-closed rounds (§2.1), oblivious
+// algorithms and full-information views with flattening (Def 2.5), the
+// min-dissemination algorithms behind the paper's upper bounds (§3, §6.2),
+// adversaries, a k-set agreement checker, and an exhaustive decision-map
+// solver that verifies one-round impossibilities on small instances.
+package protocol
+
+import (
+	"fmt"
+
+	"ksettop/internal/bits"
+	"ksettop/internal/graph"
+)
+
+// Value is an initial or decided value. Values are totally ordered ints, as
+// the paper's min-based algorithms require.
+type Value = int
+
+// NoValue marks an unknown entry in a view.
+const NoValue Value = -1
+
+// View is the oblivious state of a process (Def 2.5): for each process,
+// either its initial value or NoValue. This is exactly the flattened
+// full-information view.
+type View []Value
+
+// NewView returns a view of n processes knowing nothing.
+func NewView(n int) View {
+	v := make(View, n)
+	for i := range v {
+		v[i] = NoValue
+	}
+	return v
+}
+
+// Clone returns a copy of v.
+func (v View) Clone() View {
+	out := make(View, len(v))
+	copy(out, v)
+	return out
+}
+
+// Known returns the set of processes whose value is known.
+func (v View) Known() bits.Set {
+	var s bits.Set
+	for p, val := range v {
+		if val != NoValue {
+			s = s.With(p)
+		}
+	}
+	return s
+}
+
+// Merge adds every pair known by other to v.
+func (v View) Merge(other View) {
+	for p, val := range other {
+		if val != NoValue {
+			v[p] = val
+		}
+	}
+}
+
+// Min returns the smallest known value, and whether any value is known.
+func (v View) Min() (Value, bool) {
+	best, found := 0, false
+	for _, val := range v {
+		if val != NoValue && (!found || val < best) {
+			best, found = val, true
+		}
+	}
+	return best, found
+}
+
+// MinOver returns the smallest known value among the given processes.
+func (v View) MinOver(procs bits.Set) (Value, bool) {
+	best, found := 0, false
+	procs.ForEach(func(p int) {
+		if p < len(v) && v[p] != NoValue && (!found || v[p] < best) {
+			best, found = v[p], true
+		}
+	})
+	return best, found
+}
+
+// DistinctValues returns the distinct known values.
+func (v View) DistinctValues() []Value {
+	seen := make(map[Value]bool)
+	var out []Value
+	for _, val := range v {
+		if val != NoValue && !seen[val] {
+			seen[val] = true
+			out = append(out, val)
+		}
+	}
+	return out
+}
+
+// Algorithm is an oblivious algorithm (Def 2.5): it runs a fixed number of
+// full-information rounds and then decides from the flattened view only.
+type Algorithm interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Rounds is the number of communication rounds before deciding.
+	Rounds() int
+	// Decide maps the flattened view of a process to its decision.
+	Decide(self int, v View) (Value, error)
+}
+
+// Execution is one deterministic run: a graph per round and an initial
+// value per process.
+type Execution struct {
+	Graphs  []graph.Digraph
+	Initial []Value
+}
+
+// Validate checks internal consistency.
+func (e Execution) Validate() error {
+	if len(e.Initial) == 0 {
+		return fmt.Errorf("protocol: execution needs at least one process")
+	}
+	n := len(e.Initial)
+	if len(e.Graphs) == 0 {
+		return fmt.Errorf("protocol: execution needs at least one round")
+	}
+	for r, g := range e.Graphs {
+		if g.N() != n {
+			return fmt.Errorf("protocol: round %d graph has %d processes, want %d", r+1, g.N(), n)
+		}
+	}
+	for p, val := range e.Initial {
+		if val < 0 {
+			return fmt.Errorf("protocol: process %d has negative initial value %d", p, val)
+		}
+	}
+	return nil
+}
+
+// Result is the outcome of an execution: the final views and the decisions.
+type Result struct {
+	Views     []View
+	Decisions []Value
+}
+
+// Run executes the algorithm under the given execution and returns the
+// decisions. The executor also maintains full-information views and checks
+// the Def 2.5 flattening invariant; a mismatch is an internal error.
+func Run(e Execution, algo Algorithm) (Result, error) {
+	if err := e.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(e.Graphs) != algo.Rounds() {
+		return Result{}, fmt.Errorf("protocol: %s needs %d rounds, execution has %d",
+			algo.Name(), algo.Rounds(), len(e.Graphs))
+	}
+	n := len(e.Initial)
+
+	// Oblivious knowledge.
+	views := make([]View, n)
+	full := make([]*FullView, n)
+	for p := 0; p < n; p++ {
+		views[p] = NewView(n)
+		views[p][p] = e.Initial[p]
+		full[p] = InitialFullView(p, e.Initial[p])
+	}
+
+	for _, g := range e.Graphs {
+		next := make([]View, n)
+		nextFull := make([]*FullView, n)
+		for p := 0; p < n; p++ {
+			nv := NewView(n)
+			heard := make([]*FullView, 0, g.In(p).Count())
+			g.In(p).ForEach(func(q int) {
+				nv.Merge(views[q])
+				heard = append(heard, full[q])
+			})
+			next[p] = nv
+			nextFull[p] = RoundFullView(p, heard)
+		}
+		views, full = next, nextFull
+	}
+
+	res := Result{Views: views, Decisions: make([]Value, n)}
+	for p := 0; p < n; p++ {
+		// Def 2.5 invariant: the flattened full-information view equals the
+		// oblivious knowledge.
+		if flat := full[p].Flatten(n); !viewsEqual(flat, views[p]) {
+			return Result{}, fmt.Errorf("protocol: flattening invariant broken at process %d: %v vs %v",
+				p, flat, views[p])
+		}
+		d, err := algo.Decide(p, views[p])
+		if err != nil {
+			return Result{}, fmt.Errorf("protocol: %s at process %d: %w", algo.Name(), p, err)
+		}
+		res.Decisions[p] = d
+	}
+	return res, nil
+}
+
+func viewsEqual(a, b View) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DistinctCount returns the number of distinct decided values.
+func (r Result) DistinctCount() int {
+	seen := make(map[Value]bool)
+	for _, d := range r.Decisions {
+		seen[d] = true
+	}
+	return len(seen)
+}

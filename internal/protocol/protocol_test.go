@@ -1,0 +1,215 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+
+	"ksettop/internal/bits"
+	"ksettop/internal/graph"
+)
+
+func TestViewOps(t *testing.T) {
+	v := NewView(4)
+	if _, ok := v.Min(); ok {
+		t.Errorf("fresh view should know nothing")
+	}
+	v[1] = 5
+	v[3] = 2
+	if v.Known() != bits.New(1, 3) {
+		t.Errorf("Known() = %v", v.Known())
+	}
+	minV, ok := v.Min()
+	if !ok || minV != 2 {
+		t.Errorf("Min() = %d %v, want 2", minV, ok)
+	}
+	other := NewView(4)
+	other[0] = 7
+	other[1] = 9 // should overwrite? Merge takes other's known values
+	v.Merge(other)
+	if v[0] != 7 {
+		t.Errorf("Merge missed value: %v", v)
+	}
+	mo, ok := v.MinOver(bits.New(0, 3))
+	if !ok || mo != 2 {
+		t.Errorf("MinOver = %d %v, want 2", mo, ok)
+	}
+	if _, ok := v.MinOver(bits.New(2)); ok {
+		t.Errorf("MinOver unknown proc should be false")
+	}
+	// v = [7, 9, -1, 2] after merge: three distinct values.
+	if dv := v.DistinctValues(); len(dv) != 3 {
+		t.Errorf("DistinctValues = %v, want 3 values", dv)
+	}
+	clone := v.Clone()
+	clone[0] = 0
+	if v[0] == 0 {
+		t.Errorf("Clone must not alias")
+	}
+}
+
+func TestRunStarOneRound(t *testing.T) {
+	star, _ := graph.Star(3, 0)
+	e := Execution{Graphs: []graph.Digraph{star}, Initial: []Value{4, 1, 2}}
+	res, err := Run(e, MinAlgorithm{R: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// p0 hears only itself; p1 hears {0,1}; p2 hears {0,2}.
+	want := []Value{4, 1, 2}
+	for p, w := range want {
+		if res.Decisions[p] != w {
+			t.Errorf("decision[%d] = %d, want %d", p, res.Decisions[p], w)
+		}
+	}
+	if res.DistinctCount() != 3 {
+		t.Errorf("distinct = %d, want 3", res.DistinctCount())
+	}
+}
+
+func TestRunCycleMultipleRounds(t *testing.T) {
+	cyc, _ := graph.Cycle(4)
+	e := Execution{Graphs: []graph.Digraph{cyc, cyc, cyc}, Initial: []Value{3, 0, 9, 7}}
+	res, err := Run(e, MinAlgorithm{R: 3})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// After 3 rounds on the 4-cycle everyone has heard everyone: consensus 0.
+	for p, d := range res.Decisions {
+		if d != 0 {
+			t.Errorf("decision[%d] = %d, want 0", p, d)
+		}
+	}
+	// Views must know all processes.
+	for p, v := range res.Views {
+		if v.Known() != bits.Full(4) {
+			t.Errorf("view[%d] incomplete: %v", p, v)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	star, _ := graph.Star(3, 0)
+	if _, err := Run(Execution{Graphs: []graph.Digraph{star}, Initial: []Value{1, 2, 3}}, MinAlgorithm{R: 2}); err == nil {
+		t.Errorf("round mismatch should fail")
+	}
+	if _, err := Run(Execution{Graphs: []graph.Digraph{star}, Initial: []Value{1, -2, 3}}, MinAlgorithm{R: 1}); err == nil {
+		t.Errorf("negative initial value should fail")
+	}
+	g4 := graph.MustNew(4)
+	if _, err := Run(Execution{Graphs: []graph.Digraph{g4}, Initial: []Value{1, 2, 3}}, MinAlgorithm{R: 1}); err == nil {
+		t.Errorf("graph size mismatch should fail")
+	}
+	if _, err := Run(Execution{Initial: []Value{1}}, MinAlgorithm{R: 0}); err == nil {
+		t.Errorf("zero rounds should fail")
+	}
+}
+
+func TestDominatingSetMinSolvesGammaSet(t *testing.T) {
+	// Thm 3.2 on ↑star: γ(star) = 1, dominating set {center}. Everyone
+	// receives the center's value in any supergraph: consensus.
+	star, _ := graph.Star(4, 1)
+	algo := DominatingSetMin{Dominating: bits.New(1)}
+	super := star.Clone()
+	super.AddEdge(2, 3)
+	for _, g := range []graph.Digraph{star, super} {
+		res, err := Run(Execution{Graphs: []graph.Digraph{g}, Initial: []Value{4, 9, 2, 0}}, algo)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		for p, d := range res.Decisions {
+			if d != 9 {
+				t.Errorf("decision[%d] = %d, want center value 9", p, d)
+			}
+		}
+	}
+	// Outside the model (no star contained) the algorithm may fail: that is
+	// a run error, not a silent wrong decision.
+	loops := graph.MustNew(4)
+	if _, err := Run(Execution{Graphs: []graph.Digraph{loops}, Initial: []Value{4, 9, 2, 0}}, algo); err == nil {
+		t.Errorf("graph outside model should surface as error")
+	}
+}
+
+func TestDecisionMapLookup(t *testing.T) {
+	v := NewView(2)
+	v[0] = 1
+	dm := DecisionMap{R: 1, Table: map[string]Value{ViewKey(v): 1}}
+	d, err := dm.Decide(0, v)
+	if err != nil || d != 1 {
+		t.Errorf("Decide = %d %v", d, err)
+	}
+	missing := NewView(2)
+	if _, err := dm.Decide(0, missing); err == nil {
+		t.Errorf("missing view should fail")
+	}
+}
+
+func TestViewKeyIgnoresDecider(t *testing.T) {
+	a := NewView(3)
+	a[0], a[2] = 4, 1
+	b := a.Clone()
+	if ViewKey(a) != ViewKey(b) {
+		t.Errorf("equal views must share keys")
+	}
+	b[1] = 0
+	if ViewKey(a) == ViewKey(b) {
+		t.Errorf("different views must differ")
+	}
+}
+
+func TestFullViewFlatten(t *testing.T) {
+	// p0 hears p0 and p1 in round 1; p1 heard p1,p2 in... build manually:
+	// round-0 views:
+	v0 := InitialFullView(0, 7)
+	v1 := InitialFullView(1, 3)
+	v2 := InitialFullView(2, 5)
+	// round 1: p0 hears {0,1}, p1 hears {1,2}.
+	r1p0 := RoundFullView(0, []*FullView{v1, v0})
+	r1p1 := RoundFullView(1, []*FullView{v1, v2})
+	// round 2: p0 hears p0 and p1.
+	r2p0 := RoundFullView(0, []*FullView{r1p0, r1p1})
+
+	flat := r2p0.Flatten(3)
+	want := View{7, 3, 5}
+	for p := range want {
+		if flat[p] != want[p] {
+			t.Errorf("flatten[%d] = %d, want %d", p, flat[p], want[p])
+		}
+	}
+	if r2p0.Depth() != 2 {
+		t.Errorf("Depth = %d, want 2", r2p0.Depth())
+	}
+	s := r2p0.String()
+	if !strings.Contains(s, "p0⟨") || !strings.Contains(s, "p1:3") {
+		t.Errorf("String() = %q", s)
+	}
+	// Heard lists are sorted by process.
+	if r1p0.Heard[0].Proc != 0 || r1p0.Heard[1].Proc != 1 {
+		t.Errorf("heard views not sorted: %v", r1p0)
+	}
+}
+
+func TestAdversaries(t *testing.T) {
+	s0, _ := graph.Star(3, 0)
+	s1, _ := graph.Star(3, 1)
+
+	fixed := FixedAdversary{Graphs: []graph.Digraph{s0, s1}}
+	if !fixed.Pick(1).Equal(s0) || !fixed.Pick(2).Equal(s1) || !fixed.Pick(3).Equal(s0) {
+		t.Errorf("fixed adversary cycles through its sequence")
+	}
+	cyc := CyclingAdversary{Gens: []graph.Digraph{s0, s1}}
+	if !cyc.Pick(2).Equal(s1) {
+		t.Errorf("cycling adversary wrong")
+	}
+
+	e, err := BuildExecution(cyc, 3, []Value{1, 2, 3})
+	if err != nil {
+		t.Fatalf("BuildExecution: %v", err)
+	}
+	if len(e.Graphs) != 3 {
+		t.Errorf("rounds = %d, want 3", len(e.Graphs))
+	}
+	if _, err := BuildExecution(cyc, 0, []Value{1}); err == nil {
+		t.Errorf("zero rounds should fail")
+	}
+}

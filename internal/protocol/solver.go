@@ -1,0 +1,332 @@
+package protocol
+
+import (
+	"fmt"
+	mathbits "math/bits"
+	"sort"
+
+	"ksettop/internal/graph"
+)
+
+// SolveResult is the outcome of an exhaustive decision-map search.
+type SolveResult struct {
+	// Solvable reports whether some oblivious one-round decision map solves
+	// k-set agreement over the swept executions.
+	Solvable bool
+	// Map holds a solving decision map when Solvable.
+	Map *DecisionMap
+	// Views is the number of distinct flattened views.
+	Views int
+	// Executions is the number of constraint executions.
+	Executions int
+	// Nodes is the number of search nodes explored.
+	Nodes int
+}
+
+// SolveOneRound decides, by exhaustive search over all oblivious decision
+// maps, whether k-set agreement is solvable in one round when the adversary
+// plays graphs from roundGraphs and initial values range over
+// [0, numValues).
+//
+// Soundness notes:
+//   - If the search fails over a SUBSET of the model's graphs, it fails over
+//     the model a fortiori, so passing just the generators proves
+//     impossibility for the whole closed-above model. Since one-round
+//     full-information protocols are oblivious (§5), the impossibility
+//     applies to all algorithms.
+//   - If the search succeeds, the map solves k-set agreement over exactly
+//     the swept graphs; pass the full closure (model.EnumerateGraphs) to
+//     certify solvability on the model.
+//   - Restricting decisions to values present in the view is WLOG for
+//     numValues ≥ 2: any value outside the view fails validity in some
+//     execution extending the view.
+//
+// To verify multi-round *oblivious* impossibility (Thm 6.10/6.11), pass the
+// round-r product graphs: after r rounds a flattened view is determined by
+// the product graph's in-neighborhoods, so the r-round oblivious question is
+// exactly this one-round question on S^r.
+//
+// The search is exponential; nodeBudget bounds explored nodes (error when
+// exhausted).
+func SolveOneRound(roundGraphs []graph.Digraph, numValues, k, nodeBudget int) (SolveResult, error) {
+	if len(roundGraphs) == 0 {
+		return SolveResult{}, fmt.Errorf("protocol: no graphs to solve over")
+	}
+	if numValues < 2 {
+		return SolveResult{}, fmt.Errorf("protocol: solver needs ≥2 values, got %d", numValues)
+	}
+	if k < 1 {
+		return SolveResult{}, fmt.Errorf("protocol: k %d must be ≥ 1", k)
+	}
+	n := roundGraphs[0].N()
+	numAssignments := 1
+	for i := 0; i < n; i++ {
+		numAssignments *= numValues
+		if numAssignments > 1<<20 {
+			return SolveResult{}, fmt.Errorf("protocol: %d^%d assignments too many", numValues, n)
+		}
+	}
+
+	// Build the view universe and the execution constraints. Distinct
+	// executions frequently induce identical view SETS (e.g. every graph of
+	// a closure that leaves in-neighborhoods unchanged); since the
+	// constraint "≤ k distinct decisions" depends only on the view set,
+	// constraints are deduplicated, which shrinks hard instances by orders
+	// of magnitude.
+	type viewInfo struct {
+		id     int
+		values []Value // distinct values present, ascending: the domain
+		execs  []int
+	}
+	views := make(map[string]*viewInfo)
+	var viewList []*viewInfo
+	var execViews [][]int // per unique constraint, sorted unique view ids
+	seenConstraint := make(map[string]bool)
+	totalExecs := 0
+
+	assignment := make([]Value, n)
+	for {
+		for _, g := range roundGraphs {
+			totalExecs++
+			ids := make([]int, 0, n)
+			for p := 0; p < n; p++ {
+				v := NewView(n)
+				g.In(p).ForEach(func(q int) { v[q] = assignment[q] })
+				key := ViewKey(v)
+				info, ok := views[key]
+				if !ok {
+					info = &viewInfo{id: len(viewList), values: v.DistinctValues()}
+					sort.Ints(info.values)
+					views[key] = info
+					viewList = append(viewList, info)
+				}
+				ids = append(ids, info.id)
+			}
+			sort.Ints(ids)
+			ids = dedupInts(ids)
+			ckey := constraintKey(ids)
+			if seenConstraint[ckey] {
+				continue
+			}
+			seenConstraint[ckey] = true
+			e := len(execViews)
+			execViews = append(execViews, ids)
+			for _, id := range ids {
+				info := viewList[id]
+				if len(info.execs) == 0 || info.execs[len(info.execs)-1] != e {
+					info.execs = append(info.execs, e)
+				}
+			}
+		}
+		if !incCounter(assignment, numValues) {
+			break
+		}
+	}
+
+	res := SolveResult{Views: len(viewList), Executions: totalExecs}
+	if numValues > 16 {
+		return res, fmt.Errorf("protocol: solver supports ≤16 values, got %d", numValues)
+	}
+
+	s := &cspState{
+		k:         k,
+		numValues: numValues,
+		execViews: execViews,
+		decided:   make([]Value, len(viewList)),
+		domains:   make([]uint16, len(viewList)),
+		counts:    make([][]int, len(execViews)),
+		distinct:  make([]int, len(execViews)),
+		valueMask: make([]uint16, len(execViews)),
+		viewExecs: make([][]int, len(viewList)),
+	}
+	for i, info := range viewList {
+		s.decided[i] = NoValue
+		var dom uint16
+		for _, v := range info.values {
+			dom |= 1 << uint(v)
+		}
+		s.domains[i] = dom
+		s.viewExecs[i] = info.execs
+	}
+	for e := range execViews {
+		s.counts[e] = make([]int, numValues)
+	}
+
+	solved, err := s.search(&res.Nodes, nodeBudget)
+	if err != nil {
+		return res, err
+	}
+	if solved {
+		table := make(map[string]Value, len(views))
+		for key, info := range views {
+			table[key] = s.decided[info.id]
+		}
+		res.Solvable = true
+		res.Map = &DecisionMap{R: 1, Table: table}
+	}
+	return res, nil
+}
+
+// cspState is the forward-checking backtracking state of the decision-map
+// search. The single inference rule: once an execution has k distinct
+// decided values, every unassigned view in it must decide within that set
+// (its domain intersects the execution's value mask); empty domains prune,
+// singleton domains propagate.
+type cspState struct {
+	k         int
+	numValues int
+	execViews [][]int
+	decided   []Value
+	domains   []uint16
+	counts    [][]int
+	distinct  []int
+	valueMask []uint16 // per execution: values with count > 0
+	viewExecs [][]int
+	trail     []trailEntry
+}
+
+type trailEntry struct {
+	view      int
+	oldDomain uint16
+	assigned  bool // true: undo an assignment; false: restore oldDomain
+}
+
+// assign commits view id to value d and runs propagation. It reports false
+// on conflict; all state changes are recorded on the trail either way.
+func (s *cspState) assign(id int, d Value) bool {
+	queue := [][2]int{{id, int(d)}}
+	for len(queue) > 0 {
+		v, val := queue[0][0], Value(queue[0][1])
+		queue = queue[1:]
+		if s.decided[v] != NoValue {
+			if s.decided[v] != val {
+				return false
+			}
+			continue
+		}
+		if s.domains[v]&(1<<uint(val)) == 0 {
+			return false
+		}
+		s.decided[v] = val
+		s.trail = append(s.trail, trailEntry{view: v, assigned: true})
+		for _, e := range s.viewExecs[v] {
+			s.counts[e][val]++
+			if s.counts[e][val] > 1 {
+				continue
+			}
+			s.distinct[e]++
+			s.valueMask[e] |= 1 << uint(val)
+			if s.distinct[e] > s.k {
+				return false
+			}
+			if s.distinct[e] < s.k {
+				continue
+			}
+			// Execution e is saturated: restrict its unassigned views.
+			for _, u := range s.execViews[e] {
+				if s.decided[u] != NoValue {
+					continue
+				}
+				nd := s.domains[u] & s.valueMask[e]
+				if nd == s.domains[u] {
+					continue
+				}
+				s.trail = append(s.trail, trailEntry{view: u, oldDomain: s.domains[u]})
+				s.domains[u] = nd
+				switch onesCount16(nd) {
+				case 0:
+					return false
+				case 1:
+					queue = append(queue, [2]int{u, trailingZeros16(nd)})
+				}
+			}
+		}
+	}
+	return true
+}
+
+// unwind rolls the trail back to the given mark.
+func (s *cspState) unwind(mark int) {
+	for i := len(s.trail) - 1; i >= mark; i-- {
+		t := s.trail[i]
+		if !t.assigned {
+			s.domains[t.view] = t.oldDomain
+			continue
+		}
+		val := s.decided[t.view]
+		s.decided[t.view] = NoValue
+		for _, e := range s.viewExecs[t.view] {
+			s.counts[e][val]--
+			if s.counts[e][val] == 0 {
+				s.distinct[e]--
+				s.valueMask[e] &^= 1 << uint(val)
+			}
+		}
+	}
+	s.trail = s.trail[:mark]
+}
+
+// search picks the unassigned view with the smallest domain (fail-first) and
+// branches on its values.
+func (s *cspState) search(nodes *int, budget int) (bool, error) {
+	best, bestSize := -1, 17
+	for v, d := range s.decided {
+		if d != NoValue {
+			continue
+		}
+		size := onesCount16(s.domains[v])
+		if size < bestSize {
+			best, bestSize = v, size
+			if size <= 1 {
+				break
+			}
+		}
+	}
+	if best == -1 {
+		return true, nil // all views assigned
+	}
+	if *nodes >= budget {
+		return false, fmt.Errorf("protocol: node budget %d exhausted", budget)
+	}
+	*nodes++
+	dom := s.domains[best]
+	for val := 0; val < s.numValues; val++ {
+		if dom&(1<<uint(val)) == 0 {
+			continue
+		}
+		mark := len(s.trail)
+		if s.assign(best, Value(val)) {
+			ok, err := s.search(nodes, budget)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		s.unwind(mark)
+	}
+	return false, nil
+}
+
+func onesCount16(x uint16) int { return mathbits.OnesCount16(x) }
+
+func trailingZeros16(x uint16) int { return mathbits.TrailingZeros16(x) }
+
+func dedupInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func constraintKey(ids []int) string {
+	b := make([]byte, 0, len(ids)*3)
+	for _, id := range ids {
+		b = append(b, byte(id), byte(id>>8), byte(id>>16), ',')
+	}
+	return string(b)
+}

@@ -1,0 +1,273 @@
+// Package topology implements the combinatorial-topology machinery of the
+// paper's §4: colored simplexes and complexes, pseudospheres (Def 4.5) with
+// the intersection lemma (Lemma 4.6) and their connectivity (Lemma 4.7),
+// uninterpreted complexes of graphs and models (Def 4.3/4.4, Lemma 4.8,
+// Thm 4.12), interpretation on input complexes (Def 4.13/4.14), nerve
+// complexes (Def 4.10), shellability (§4.4), and machine-checkable
+// connectivity via reduced homology over GF(2).
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// AbstractComplex is an abstract simplicial complex: vertices are integers
+// 0..NumVertices-1 and the complex is the downward closure of its facets.
+// Unlike the colored complexes used for protocol states, abstract complexes
+// carry no color discipline; they are the common currency for homology,
+// shellability and nerve computations.
+type AbstractComplex struct {
+	numVertices int
+	facets      [][]int // sorted vertex lists, mutually incomparable
+}
+
+// NewAbstract builds a complex from generating simplexes. Vertices must lie
+// in [0, numVertices). Generators that are faces of other generators are
+// absorbed; duplicates are removed.
+func NewAbstract(numVertices int, generators [][]int) (*AbstractComplex, error) {
+	if numVertices < 0 {
+		return nil, fmt.Errorf("topology: negative vertex count %d", numVertices)
+	}
+	norm := make([][]int, 0, len(generators))
+	seen := make(map[string]bool, len(generators))
+	for _, gen := range generators {
+		s, err := normalizeSimplex(gen, numVertices)
+		if err != nil {
+			return nil, err
+		}
+		if len(s) == 0 {
+			continue
+		}
+		key := simplexKey(s)
+		if !seen[key] {
+			seen[key] = true
+			norm = append(norm, s)
+		}
+	}
+	return &AbstractComplex{numVertices: numVertices, facets: maximalSimplexes(norm)}, nil
+}
+
+func normalizeSimplex(gen []int, numVertices int) ([]int, error) {
+	s := make([]int, 0, len(gen))
+	seenV := make(map[int]bool, len(gen))
+	for _, v := range gen {
+		if v < 0 || v >= numVertices {
+			return nil, fmt.Errorf("topology: vertex %d outside [0,%d)", v, numVertices)
+		}
+		if !seenV[v] {
+			seenV[v] = true
+			s = append(s, v)
+		}
+	}
+	sort.Ints(s)
+	return s, nil
+}
+
+// maximalSimplexes removes every simplex that is a face of another.
+func maximalSimplexes(simplexes [][]int) [][]int {
+	sort.Slice(simplexes, func(i, j int) bool { return len(simplexes[i]) > len(simplexes[j]) })
+	var out [][]int
+	for _, s := range simplexes {
+		dominated := false
+		for _, big := range out {
+			if isSubset(s, big) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return simplexKey(out[i]) < simplexKey(out[j]) })
+	return out
+}
+
+// isSubset reports whether sorted slice a ⊆ sorted slice b.
+func isSubset(a, b []int) bool {
+	i := 0
+	for _, v := range b {
+		if i < len(a) && a[i] == v {
+			i++
+		}
+	}
+	return i == len(a)
+}
+
+func simplexKey(s []int) string {
+	var b strings.Builder
+	for i, v := range s {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(v))
+	}
+	return b.String()
+}
+
+// NumVertices returns the size of the ambient vertex set.
+func (c *AbstractComplex) NumVertices() int { return c.numVertices }
+
+// Facets returns the maximal simplexes, each a sorted vertex list. The
+// returned slices are shared; callers must not mutate them.
+func (c *AbstractComplex) Facets() [][]int { return c.facets }
+
+// FacetCount returns the number of maximal simplexes.
+func (c *AbstractComplex) FacetCount() int { return len(c.facets) }
+
+// IsEmpty reports whether the complex has no simplexes at all.
+func (c *AbstractComplex) IsEmpty() bool { return len(c.facets) == 0 }
+
+// Dimension returns the dimension of the complex (max facet size − 1), or
+// -1 for the empty complex.
+func (c *AbstractComplex) Dimension() int {
+	d := -1
+	for _, f := range c.facets {
+		if len(f)-1 > d {
+			d = len(f) - 1
+		}
+	}
+	return d
+}
+
+// IsPure reports whether all facets share the complex's dimension (Def 4.2).
+// The empty complex is vacuously pure.
+func (c *AbstractComplex) IsPure() bool {
+	d := c.Dimension()
+	for _, f := range c.facets {
+		if len(f)-1 != d {
+			return false
+		}
+	}
+	return true
+}
+
+// VertexSet returns the sorted list of vertices that appear in some simplex.
+func (c *AbstractComplex) VertexSet() []int {
+	seen := make(map[int]bool)
+	for _, f := range c.facets {
+		for _, v := range f {
+			seen[v] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Simplexes returns all simplexes of dimension dim (vertex count dim+1),
+// sorted lexicographically. dim = -1 yields the empty simplex when the
+// complex is nonempty.
+func (c *AbstractComplex) Simplexes(dim int) [][]int {
+	if dim < -1 {
+		return nil
+	}
+	if dim == -1 {
+		if c.IsEmpty() {
+			return nil
+		}
+		return [][]int{{}}
+	}
+	seen := make(map[string][]int)
+	size := dim + 1
+	buf := make([]int, size)
+	for _, f := range c.facets {
+		if len(f) < size {
+			continue
+		}
+		combinationsOf(f, size, buf, 0, 0, func(s []int) {
+			key := simplexKey(s)
+			if _, ok := seen[key]; !ok {
+				cp := make([]int, size)
+				copy(cp, s)
+				seen[key] = cp
+			}
+		})
+	}
+	out := make([][]int, 0, len(seen))
+	for _, s := range seen {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return lexLess(out[i], out[j]) })
+	return out
+}
+
+func lexLess(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// combinationsOf enumerates all size-k subsets of sorted slice f into buf.
+func combinationsOf(f []int, k int, buf []int, start, depth int, emit func([]int)) {
+	if depth == k {
+		emit(buf)
+		return
+	}
+	for i := start; i <= len(f)-(k-depth); i++ {
+		buf[depth] = f[i]
+		combinationsOf(f, k, buf, i+1, depth+1, emit)
+	}
+}
+
+// SimplexCount returns the number of simplexes of dimension dim.
+func (c *AbstractComplex) SimplexCount(dim int) int { return len(c.Simplexes(dim)) }
+
+// ContainsSimplex reports whether the sorted vertex list s is a simplex of c.
+func (c *AbstractComplex) ContainsSimplex(s []int) bool {
+	for _, f := range c.facets {
+		if isSubset(s, f) {
+			return true
+		}
+	}
+	return false
+}
+
+// Skeleton returns the d-skeleton: all simplexes of dimension ≤ d.
+func (c *AbstractComplex) Skeleton(d int) (*AbstractComplex, error) {
+	if d < 0 {
+		return NewAbstract(c.numVertices, nil)
+	}
+	var gens [][]int
+	for _, f := range c.facets {
+		if len(f) <= d+1 {
+			gens = append(gens, f)
+			continue
+		}
+		buf := make([]int, d+1)
+		combinationsOf(f, d+1, buf, 0, 0, func(s []int) {
+			cp := make([]int, len(s))
+			copy(cp, s)
+			gens = append(gens, cp)
+		})
+	}
+	return NewAbstract(c.numVertices, gens)
+}
+
+// EulerCharacteristic returns Σ (−1)^q · (number of q-simplexes).
+func (c *AbstractComplex) EulerCharacteristic() int {
+	chi := 0
+	for q := 0; q <= c.Dimension(); q++ {
+		if q%2 == 0 {
+			chi += c.SimplexCount(q)
+		} else {
+			chi -= c.SimplexCount(q)
+		}
+	}
+	return chi
+}
+
+// String summarizes the complex.
+func (c *AbstractComplex) String() string {
+	return fmt.Sprintf("complex(dim=%d, facets=%d, vertices=%d)",
+		c.Dimension(), len(c.facets), len(c.VertexSet()))
+}

@@ -1,0 +1,160 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustAbstract(t *testing.T, n int, gens [][]int) *AbstractComplex {
+	t.Helper()
+	c, err := NewAbstract(n, gens)
+	if err != nil {
+		t.Fatalf("NewAbstract: %v", err)
+	}
+	return c
+}
+
+func TestNewAbstractNormalization(t *testing.T) {
+	c := mustAbstract(t, 5, [][]int{
+		{2, 0, 1},
+		{0, 1},    // face of the triangle: absorbed
+		{1, 0, 2}, // duplicate up to order
+		{3, 4},
+		{4, 4, 3}, // duplicate with repeated vertex
+	})
+	if c.FacetCount() != 2 {
+		t.Fatalf("facets = %d, want 2: %v", c.FacetCount(), c.Facets())
+	}
+	if c.Dimension() != 2 {
+		t.Errorf("dimension = %d, want 2", c.Dimension())
+	}
+	if c.IsPure() {
+		t.Errorf("complex with a triangle and an edge is not pure")
+	}
+	if _, err := NewAbstract(3, [][]int{{0, 3}}); err == nil {
+		t.Errorf("out-of-range vertex should fail")
+	}
+	if _, err := NewAbstract(-1, nil); err == nil {
+		t.Errorf("negative vertex count should fail")
+	}
+}
+
+func TestSimplexEnumeration(t *testing.T) {
+	// Full triangle on {0,1,2}.
+	c := mustAbstract(t, 3, [][]int{{0, 1, 2}})
+	if got := c.SimplexCount(0); got != 3 {
+		t.Errorf("vertices = %d, want 3", got)
+	}
+	if got := c.SimplexCount(1); got != 3 {
+		t.Errorf("edges = %d, want 3", got)
+	}
+	if got := c.SimplexCount(2); got != 1 {
+		t.Errorf("triangles = %d, want 1", got)
+	}
+	if got := c.SimplexCount(3); got != 0 {
+		t.Errorf("3-simplexes = %d, want 0", got)
+	}
+	if got := c.Simplexes(-1); len(got) != 1 {
+		t.Errorf("empty simplex count = %d, want 1", len(got))
+	}
+	empty := mustAbstract(t, 3, nil)
+	if got := empty.Simplexes(-1); got != nil {
+		t.Errorf("empty complex has no empty simplex under our convention")
+	}
+}
+
+func TestContainsSimplexAndVertexSet(t *testing.T) {
+	c := mustAbstract(t, 6, [][]int{{0, 1, 2}, {3, 4}})
+	if !c.ContainsSimplex([]int{0, 2}) {
+		t.Errorf("edge {0,2} should be present")
+	}
+	if c.ContainsSimplex([]int{0, 3}) {
+		t.Errorf("edge {0,3} should be absent")
+	}
+	vs := c.VertexSet()
+	if len(vs) != 5 {
+		t.Errorf("vertex set = %v, want 5 vertices (5 is isolated/unused)", vs)
+	}
+}
+
+func TestSkeleton(t *testing.T) {
+	c := mustAbstract(t, 4, [][]int{{0, 1, 2, 3}})
+	sk1, err := c.Skeleton(1)
+	if err != nil {
+		t.Fatalf("Skeleton: %v", err)
+	}
+	if sk1.Dimension() != 1 || sk1.SimplexCount(1) != 6 {
+		t.Errorf("1-skeleton of Δ³: dim=%d edges=%d, want 1/6", sk1.Dimension(), sk1.SimplexCount(1))
+	}
+	sk0, _ := c.Skeleton(0)
+	if sk0.SimplexCount(0) != 4 || sk0.Dimension() != 0 {
+		t.Errorf("0-skeleton wrong: %v", sk0)
+	}
+	skNeg, _ := c.Skeleton(-1)
+	if !skNeg.IsEmpty() {
+		t.Errorf("(-1)-skeleton should be empty")
+	}
+}
+
+func TestEulerCharacteristicClassicSpaces(t *testing.T) {
+	tests := []struct {
+		name string
+		n    int
+		gens [][]int
+		want int
+	}{
+		{"point", 1, [][]int{{0}}, 1},
+		{"two points", 2, [][]int{{0}, {1}}, 2},
+		{"circle (∂Δ²)", 3, [][]int{{0, 1}, {1, 2}, {0, 2}}, 0},
+		{"disk (Δ²)", 3, [][]int{{0, 1, 2}}, 1},
+		{"sphere (∂Δ³)", 4, [][]int{{0, 1, 2}, {0, 1, 3}, {0, 2, 3}, {1, 2, 3}}, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := mustAbstract(t, tt.n, tt.gens)
+			if got := c.EulerCharacteristic(); got != tt.want {
+				t.Errorf("χ = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestQuickMaximalFacetsIncomparable(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(5))}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var gens [][]int
+		for i := 0; i < 8; i++ {
+			size := 1 + r.Intn(4)
+			s := make([]int, size)
+			for j := range s {
+				s[j] = r.Intn(6)
+			}
+			gens = append(gens, s)
+		}
+		c, err := NewAbstract(6, gens)
+		if err != nil {
+			return false
+		}
+		fs := c.Facets()
+		for i := range fs {
+			for j := range fs {
+				if i != j && isSubset(fs[i], fs[j]) {
+					return false
+				}
+			}
+		}
+		// Every generator must still be contained in the complex.
+		for _, g := range gens {
+			s, err := normalizeSimplex(g, 6)
+			if err != nil || !c.ContainsSimplex(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Errorf("facet maximality invariant failed: %v", err)
+	}
+}

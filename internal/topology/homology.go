@@ -1,0 +1,148 @@
+package topology
+
+import "fmt"
+
+// ReducedBettiNumbers computes the reduced Betti numbers β̃_0 … β̃_maxDim of
+// the complex over the field GF(2).
+//
+// β̃_q = dim ker ∂_q − dim im ∂_{q+1}, with the augmented chain complex
+// (∂_0 maps every vertex to the generator of C_{-1}), so β̃_0 is
+// (number of connected components) − 1.
+//
+// Why homology: k-connectivity (the property the paper's impossibility
+// theorem consumes, [HKR13] Thm 10.3.1) is undecidable in general, but a
+// k-connected complex necessarily has vanishing reduced homology in
+// dimensions ≤ k. Checking β̃_0 = … = β̃_k = 0 therefore machine-validates
+// the paper's connectivity claims on concrete instances: a violation would
+// refute the claim outright, agreement corroborates it. See DESIGN.md.
+func ReducedBettiNumbers(c *AbstractComplex, maxDim int) ([]int, error) {
+	if maxDim < 0 {
+		return nil, fmt.Errorf("topology: negative homology dimension %d", maxDim)
+	}
+	if c.IsEmpty() {
+		return nil, fmt.Errorf("topology: reduced homology of the empty complex is undefined here")
+	}
+
+	// simplexes[q] for q = 0..maxDim+1; indexes for boundary lookups.
+	counts := make([]int, maxDim+2)
+	index := make([]map[string]int, maxDim+2)
+	simplexes := make([][][]int, maxDim+2)
+	for q := 0; q <= maxDim+1; q++ {
+		sx := c.Simplexes(q)
+		simplexes[q] = sx
+		counts[q] = len(sx)
+		index[q] = make(map[string]int, len(sx))
+		for i, s := range sx {
+			index[q][simplexKey(s)] = i
+		}
+	}
+
+	// rank[q] = rank of ∂_q over GF(2).
+	// ∂_0 is the augmentation map: rank 1 since the complex is nonempty.
+	rank := make([]int, maxDim+2)
+	rank[0] = 1
+	for q := 1; q <= maxDim+1; q++ {
+		rank[q] = boundaryRank(simplexes[q], index[q-1], counts[q-1])
+	}
+
+	betti := make([]int, maxDim+1)
+	for q := 0; q <= maxDim; q++ {
+		kernel := counts[q] - rank[q]
+		betti[q] = kernel - rank[q+1]
+	}
+	return betti, nil
+}
+
+// boundaryRank computes the GF(2) rank of the boundary matrix whose columns
+// are the given q-simplexes and whose rows are (q-1)-simplexes, using
+// column-reduction with bit-packed columns.
+func boundaryRank(cols [][]int, rowIndex map[string]int, numRows int) int {
+	if len(cols) == 0 || numRows == 0 {
+		return 0
+	}
+	words := (numRows + 63) / 64
+	// pivots[r] = column (bit vector) whose lowest set bit is row r.
+	pivots := make(map[int][]uint64, numRows)
+	rank := 0
+	face := make([]int, 0, 16)
+	col := make([]uint64, words)
+	for _, simplex := range cols {
+		for i := range col {
+			col[i] = 0
+		}
+		// Column = sum of the (q-1)-faces of the simplex.
+		for omit := range simplex {
+			face = face[:0]
+			for j, v := range simplex {
+				if j != omit {
+					face = append(face, v)
+				}
+			}
+			r, ok := rowIndex[simplexKey(face)]
+			if !ok {
+				// Every face of a simplex of the complex is in the complex;
+				// missing index would be an internal inconsistency.
+				continue
+			}
+			col[r/64] ^= 1 << uint(r%64)
+		}
+		// Reduce against existing pivots.
+		for {
+			low := lowestBit(col)
+			if low < 0 {
+				break
+			}
+			p, ok := pivots[low]
+			if !ok {
+				cp := make([]uint64, words)
+				copy(cp, col)
+				pivots[low] = cp
+				rank++
+				break
+			}
+			for i := range col {
+				col[i] ^= p[i]
+			}
+		}
+	}
+	return rank
+}
+
+func lowestBit(v []uint64) int {
+	for i, w := range v {
+		if w != 0 {
+			b := 0
+			for w&1 == 0 {
+				w >>= 1
+				b++
+			}
+			return i*64 + b
+		}
+	}
+	return -1
+}
+
+// IsHomologicallyKConnected reports whether all reduced Betti numbers up to
+// dimension k vanish. k = -1 means "nonempty", which always holds for
+// nonempty complexes and fails otherwise.
+func IsHomologicallyKConnected(c *AbstractComplex, k int) (bool, []int, error) {
+	if k < -1 {
+		return true, nil, nil // trivially (-2)-connected, even when empty
+	}
+	if k == -1 {
+		return !c.IsEmpty(), nil, nil
+	}
+	if c.IsEmpty() {
+		return false, nil, nil
+	}
+	betti, err := ReducedBettiNumbers(c, k)
+	if err != nil {
+		return false, nil, err
+	}
+	for _, b := range betti {
+		if b != 0 {
+			return false, betti, nil
+		}
+	}
+	return true, betti, nil
+}

@@ -1,0 +1,210 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func bettisOf(t *testing.T, n int, gens [][]int, maxDim int) []int {
+	t.Helper()
+	c := mustAbstract(t, n, gens)
+	b, err := ReducedBettiNumbers(c, maxDim)
+	if err != nil {
+		t.Fatalf("ReducedBettiNumbers: %v", err)
+	}
+	return b
+}
+
+func TestBettiClassicSpaces(t *testing.T) {
+	tests := []struct {
+		name string
+		n    int
+		gens [][]int
+		want []int
+	}{
+		{"point", 1, [][]int{{0}}, []int{0, 0}},
+		{"two points", 2, [][]int{{0}, {1}}, []int{1, 0}},
+		{"segment", 2, [][]int{{0, 1}}, []int{0, 0}},
+		{"circle", 3, [][]int{{0, 1}, {1, 2}, {0, 2}}, []int{0, 1}},
+		{"disk", 3, [][]int{{0, 1, 2}}, []int{0, 0}},
+		{"two triangles sharing an edge", 4, [][]int{{0, 1, 2}, {1, 2, 3}}, []int{0, 0}},
+		{"two triangles sharing a vertex", 5, [][]int{{0, 1, 2}, {2, 3, 4}}, []int{0, 0}},
+		{"wedge of two circles", 5, [][]int{
+			{0, 1}, {1, 2}, {0, 2},
+			{2, 3}, {3, 4}, {2, 4},
+		}, []int{0, 2}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := bettisOf(t, tt.n, tt.gens, len(tt.want)-1)
+			for q := range tt.want {
+				if got[q] != tt.want[q] {
+					t.Errorf("β̃_%d = %d, want %d (all: %v)", q, got[q], tt.want[q], got)
+				}
+			}
+		})
+	}
+}
+
+func TestBettiSphere(t *testing.T) {
+	got := bettisOf(t, 4, [][]int{{0, 1, 2}, {0, 1, 3}, {0, 2, 3}, {1, 2, 3}}, 2)
+	want := []int{0, 0, 1}
+	for q := range want {
+		if got[q] != want[q] {
+			t.Errorf("S²: β̃_%d = %d, want %d", q, got[q], want[q])
+		}
+	}
+}
+
+func TestBettiThreeSphere(t *testing.T) {
+	// ∂Δ⁴: all 3-faces of the 4-simplex. β̃_3 = 1, lower ones vanish.
+	gens := [][]int{
+		{0, 1, 2, 3}, {0, 1, 2, 4}, {0, 1, 3, 4}, {0, 2, 3, 4}, {1, 2, 3, 4},
+	}
+	got := bettisOf(t, 5, gens, 3)
+	want := []int{0, 0, 0, 1}
+	for q := range want {
+		if got[q] != want[q] {
+			t.Errorf("S³: β̃_%d = %d, want %d", q, got[q], want[q])
+		}
+	}
+}
+
+func TestBettiProjectivePlaneGF2(t *testing.T) {
+	// Minimal 6-vertex triangulation of RP². Over GF(2): β̃_1 = β̃_2 = 1,
+	// which distinguishes field-of-two homology from rational homology and
+	// exercises the torsion-sensitive path.
+	gens := [][]int{
+		{0, 1, 4}, {0, 1, 5}, {0, 2, 3}, {0, 2, 5}, {0, 3, 4},
+		{1, 2, 3}, {1, 2, 4}, {1, 3, 5}, {2, 4, 5}, {3, 4, 5},
+	}
+	c := mustAbstract(t, 6, gens)
+	if chi := c.EulerCharacteristic(); chi != 1 {
+		t.Fatalf("RP² should have χ = 1, got %d (bad triangulation?)", chi)
+	}
+	got := bettisOf(t, 6, gens, 2)
+	want := []int{0, 1, 1}
+	for q := range want {
+		if got[q] != want[q] {
+			t.Errorf("RP²: β̃_%d = %d, want %d", q, got[q], want[q])
+		}
+	}
+}
+
+func TestIsHomologicallyKConnected(t *testing.T) {
+	circle := mustAbstract(t, 3, [][]int{{0, 1}, {1, 2}, {0, 2}})
+	ok, _, err := IsHomologicallyKConnected(circle, 0)
+	if err != nil || !ok {
+		t.Errorf("circle is 0-connected (path connected): ok=%v err=%v", ok, err)
+	}
+	ok, betti, _ := IsHomologicallyKConnected(circle, 1)
+	if ok {
+		t.Errorf("circle is not 1-connected; betti=%v", betti)
+	}
+
+	empty := mustAbstract(t, 3, nil)
+	if ok, _, _ := IsHomologicallyKConnected(empty, -1); ok {
+		t.Errorf("empty complex is not (-1)-connected")
+	}
+	if ok, _, _ := IsHomologicallyKConnected(empty, -2); !ok {
+		t.Errorf("every complex is (-2)-connected by convention")
+	}
+	if ok, _, _ := IsHomologicallyKConnected(empty, 0); ok {
+		t.Errorf("empty complex is not 0-connected")
+	}
+	point := mustAbstract(t, 1, [][]int{{0}})
+	if ok, _, _ := IsHomologicallyKConnected(point, -1); !ok {
+		t.Errorf("nonempty complex is (-1)-connected")
+	}
+}
+
+func TestReducedBettiErrors(t *testing.T) {
+	empty := mustAbstract(t, 2, nil)
+	if _, err := ReducedBettiNumbers(empty, 0); err == nil {
+		t.Errorf("empty complex should be rejected")
+	}
+	pt := mustAbstract(t, 1, [][]int{{0}})
+	if _, err := ReducedBettiNumbers(pt, -1); err == nil {
+		t.Errorf("negative dimension should be rejected")
+	}
+}
+
+func TestQuickEulerPoincare(t *testing.T) {
+	// Over a field, χ = Σ (-1)^q dim H_q = 1 + Σ (-1)^q β̃_q for nonempty
+	// complexes. This ties the rank computations to the simplex counts.
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(9))}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var gens [][]int
+		for i := 0; i < 5; i++ {
+			size := 1 + r.Intn(4)
+			s := make([]int, size)
+			for j := range s {
+				s[j] = r.Intn(7)
+			}
+			gens = append(gens, s)
+		}
+		c, err := NewAbstract(7, gens)
+		if err != nil || c.IsEmpty() {
+			return true
+		}
+		d := c.Dimension()
+		betti, err := ReducedBettiNumbers(c, d)
+		if err != nil {
+			return false
+		}
+		alt := 1
+		for q := 0; q <= d; q++ {
+			if q%2 == 0 {
+				alt += betti[q]
+			} else {
+				alt -= betti[q]
+			}
+		}
+		return alt == c.EulerCharacteristic()
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Errorf("Euler–Poincaré check failed: %v", err)
+	}
+}
+
+func TestQuickConeIsAcyclic(t *testing.T) {
+	// Coning every facet to a fresh apex yields a contractible complex:
+	// all reduced Betti numbers must vanish.
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(10))}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		apex := 6
+		var gens [][]int
+		for i := 0; i < 4; i++ {
+			size := 1 + r.Intn(3)
+			s := map[int]bool{}
+			for j := 0; j < size; j++ {
+				s[r.Intn(6)] = true
+			}
+			gen := []int{apex}
+			for v := range s {
+				gen = append(gen, v)
+			}
+			gens = append(gens, gen)
+		}
+		c, err := NewAbstract(7, gens)
+		if err != nil || c.IsEmpty() {
+			return true
+		}
+		betti, err := ReducedBettiNumbers(c, c.Dimension())
+		if err != nil {
+			return false
+		}
+		for _, b := range betti {
+			if b != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Errorf("cone acyclicity failed: %v", err)
+	}
+}

@@ -1,0 +1,298 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// IntegerHomology holds reduced integral homology groups
+// H̃_q ≅ ℤ^Betti[q] ⊕ ℤ/Torsion[q][0] ⊕ ℤ/Torsion[q][1] ⊕ …
+//
+// Integral homology refines the GF(2) computation in homology.go: a
+// k-connected complex has H̃_q = 0 over ℤ for q ≤ k, and vanishing integral
+// groups imply vanishing GF(2) groups but not conversely (torsion ℤ/2 is
+// invisible rationally yet fails connectivity). Both routes are exposed so
+// verification can use the sharper one on small instances.
+type IntegerHomology struct {
+	Betti   []int
+	Torsion [][]int64
+}
+
+// IsTrivialUpTo reports whether H̃_0 … H̃_k all vanish (free rank zero and no
+// torsion).
+func (h *IntegerHomology) IsTrivialUpTo(k int) bool {
+	for q := 0; q <= k && q < len(h.Betti); q++ {
+		if h.Betti[q] != 0 || len(h.Torsion[q]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders e.g. "H̃_0=0 H̃_1=ℤ/2 H̃_2=ℤ".
+func (h *IntegerHomology) String() string {
+	out := ""
+	for q := range h.Betti {
+		if q > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("H̃_%d=%s", q, groupString(h.Betti[q], h.Torsion[q]))
+	}
+	return out
+}
+
+func groupString(betti int, torsion []int64) string {
+	if betti == 0 && len(torsion) == 0 {
+		return "0"
+	}
+	s := ""
+	for i := 0; i < betti; i++ {
+		if s != "" {
+			s += "⊕"
+		}
+		s += "ℤ"
+	}
+	for _, d := range torsion {
+		if s != "" {
+			s += "⊕"
+		}
+		s += fmt.Sprintf("ℤ/%d", d)
+	}
+	return s
+}
+
+// IntegerHomologyGroups computes the reduced integral homology of the
+// complex up to dimension maxDim via Smith normal forms of the oriented
+// boundary matrices (with the augmentation map, so H̃_0 counts components
+// minus one).
+func IntegerHomologyGroups(c *AbstractComplex, maxDim int) (*IntegerHomology, error) {
+	if maxDim < 0 {
+		return nil, fmt.Errorf("topology: negative homology dimension %d", maxDim)
+	}
+	if c.IsEmpty() {
+		return nil, fmt.Errorf("topology: integral homology of the empty complex is undefined here")
+	}
+	counts := make([]int, maxDim+2)
+	index := make([]map[string]int, maxDim+2)
+	simplexes := make([][][]int, maxDim+2)
+	for q := 0; q <= maxDim+1; q++ {
+		sx := c.Simplexes(q)
+		simplexes[q] = sx
+		counts[q] = len(sx)
+		index[q] = make(map[string]int, len(sx))
+		for i, s := range sx {
+			index[q][simplexKey(s)] = i
+		}
+	}
+
+	// divisors[q] = nonzero Smith divisors of ∂_q; rank = len(divisors).
+	divisors := make([][]int64, maxDim+2)
+	divisors[0] = nil
+	if counts[0] > 0 {
+		divisors[0] = []int64{1} // augmentation has rank 1
+	}
+	for q := 1; q <= maxDim+1; q++ {
+		mat := orientedBoundary(simplexes[q], index[q-1], counts[q-1])
+		d, err := smithDivisors(mat)
+		if err != nil {
+			return nil, err
+		}
+		divisors[q] = d
+	}
+
+	h := &IntegerHomology{
+		Betti:   make([]int, maxDim+1),
+		Torsion: make([][]int64, maxDim+1),
+	}
+	for q := 0; q <= maxDim; q++ {
+		kernel := counts[q] - len(divisors[q])
+		h.Betti[q] = kernel - len(divisors[q+1])
+		for _, d := range divisors[q+1] {
+			if d > 1 || d < -1 {
+				if d < 0 {
+					d = -d
+				}
+				h.Torsion[q] = append(h.Torsion[q], d)
+			}
+		}
+		sort.Slice(h.Torsion[q], func(a, b int) bool { return h.Torsion[q][a] < h.Torsion[q][b] })
+	}
+	return h, nil
+}
+
+// orientedBoundary builds ∂_q as a dense row-major int64 matrix
+// (rows = (q-1)-simplexes, columns = q-simplexes) with alternating signs.
+func orientedBoundary(cols [][]int, rowIndex map[string]int, numRows int) [][]int64 {
+	mat := make([][]int64, numRows)
+	for i := range mat {
+		mat[i] = make([]int64, len(cols))
+	}
+	face := make([]int, 0, 16)
+	for j, simplex := range cols {
+		sign := int64(1)
+		for omit := range simplex {
+			face = face[:0]
+			for i, v := range simplex {
+				if i != omit {
+					face = append(face, v)
+				}
+			}
+			if r, ok := rowIndex[simplexKey(face)]; ok {
+				mat[r][j] += sign
+			}
+			sign = -sign
+		}
+	}
+	return mat
+}
+
+// smithDivisors returns the nonzero diagonal entries of the Smith normal
+// form of mat. It mutates mat. Entries are kept in int64; boundary matrices
+// of the complexes used here have tiny divisors, but overflow is still
+// detected and reported.
+func smithDivisors(mat [][]int64) ([]int64, error) {
+	rows := len(mat)
+	if rows == 0 {
+		return nil, nil
+	}
+	colsN := len(mat[0])
+	var divisors []int64
+	t := 0
+	for ; t < rows && t < colsN; t++ {
+		// Find a pivot: the nonzero entry of smallest magnitude in the
+		// remaining submatrix.
+		pr, pc, pv := -1, -1, int64(0)
+		for i := t; i < rows; i++ {
+			for j := t; j < colsN; j++ {
+				v := mat[i][j]
+				if v != 0 && (pv == 0 || abs64(v) < abs64(pv)) {
+					pr, pc, pv = i, j, v
+				}
+			}
+		}
+		if pr == -1 {
+			break // remaining submatrix is zero
+		}
+		mat[t], mat[pr] = mat[pr], mat[t]
+		for i := range mat {
+			mat[i][t], mat[i][pc] = mat[i][pc], mat[i][t]
+		}
+		// Eliminate row/column t; restart when a remainder becomes the new,
+		// smaller pivot (the classical descent argument terminates this).
+		for {
+			again := false
+			for i := t + 1; i < rows; i++ {
+				if mat[i][t] == 0 {
+					continue
+				}
+				q := mat[i][t] / mat[t][t]
+				for j := t; j < colsN; j++ {
+					sub, err := mulSub(mat[i][j], q, mat[t][j])
+					if err != nil {
+						return nil, err
+					}
+					mat[i][j] = sub
+				}
+				if mat[i][t] != 0 {
+					mat[t], mat[i] = mat[i], mat[t]
+					again = true
+				}
+			}
+			for j := t + 1; j < colsN; j++ {
+				if mat[t][j] == 0 {
+					continue
+				}
+				q := mat[t][j] / mat[t][t]
+				for i := t; i < rows; i++ {
+					sub, err := mulSub(mat[i][j], q, mat[i][t])
+					if err != nil {
+						return nil, err
+					}
+					mat[i][j] = sub
+				}
+				if mat[t][j] != 0 {
+					for i := range mat {
+						mat[i][t], mat[i][j] = mat[i][j], mat[i][t]
+					}
+					again = true
+				}
+			}
+			if !again {
+				break
+			}
+		}
+		// Enforce the divisibility chain: if some remaining entry is not
+		// divisible by the pivot, fold its column in and redo this step.
+		redo := false
+		for i := t + 1; i < rows && !redo; i++ {
+			for j := t + 1; j < colsN; j++ {
+				if mat[i][j]%mat[t][t] != 0 {
+					for r := t; r < rows; r++ {
+						sum, err := add64(mat[r][t], mat[r][j])
+						if err != nil {
+							return nil, err
+						}
+						mat[r][t] = sum
+					}
+					redo = true
+					break
+				}
+			}
+		}
+		if redo {
+			t--
+			continue
+		}
+		d := mat[t][t]
+		if d < 0 {
+			d = -d
+		}
+		divisors = append(divisors, d)
+	}
+	return divisors, nil
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+const overflowLimit = int64(1) << 60
+
+func mulSub(a, q, b int64) (int64, error) {
+	p := q * b
+	if q != 0 && (abs64(b) > overflowLimit/abs64(q) || abs64(a)+abs64(p) < 0) {
+		return 0, fmt.Errorf("topology: integer overflow in Smith normal form")
+	}
+	return a - p, nil
+}
+
+func add64(a, b int64) (int64, error) {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s > 0) {
+		return 0, fmt.Errorf("topology: integer overflow in Smith normal form")
+	}
+	return s, nil
+}
+
+// IsIntegrallyKConnected reports whether the reduced integral homology
+// vanishes up to dimension k — a strictly sharper necessary condition for
+// k-connectivity than the GF(2) check.
+func IsIntegrallyKConnected(c *AbstractComplex, k int) (bool, *IntegerHomology, error) {
+	if k < -1 {
+		return true, nil, nil
+	}
+	if k == -1 {
+		return !c.IsEmpty(), nil, nil
+	}
+	if c.IsEmpty() {
+		return false, nil, nil
+	}
+	h, err := IntegerHomologyGroups(c, k)
+	if err != nil {
+		return false, nil, err
+	}
+	return h.IsTrivialUpTo(k), h, nil
+}

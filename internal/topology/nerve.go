@@ -1,0 +1,49 @@
+package topology
+
+import "fmt"
+
+// Nerve computes the nerve complex of a cover (Def 4.10): one vertex per
+// cover element, and a simplex for every subset of the cover whose elements
+// share at least one simplex.
+//
+// Because simplicial complexes are closed under faces, a family of complexes
+// has a common simplex iff it has a common vertex, so the nerve's facets are
+// the maximal sets {i : v ∈ cover[i]} over vertices v. Cover elements that
+// are empty complexes contribute no nerve vertex.
+//
+// The cover elements must live on the same ambient vertex set.
+func Nerve(cover []*AbstractComplex) (*AbstractComplex, error) {
+	if len(cover) == 0 {
+		return NewAbstract(0, nil)
+	}
+	if len(cover) > 63 {
+		return nil, fmt.Errorf("topology: nerve limited to 63 cover elements, got %d", len(cover))
+	}
+	ambient := cover[0].NumVertices()
+	membership := make(map[int][]int) // vertex → cover indices containing it
+	for i, c := range cover {
+		if c.NumVertices() != ambient {
+			return nil, fmt.Errorf("topology: cover element %d has vertex universe %d, want %d",
+				i, c.NumVertices(), ambient)
+		}
+		for _, v := range c.VertexSet() {
+			membership[v] = append(membership[v], i)
+		}
+	}
+	gens := make([][]int, 0, len(membership))
+	for _, idxs := range membership {
+		gens = append(gens, idxs)
+	}
+	return NewAbstract(len(cover), gens)
+}
+
+// NerveIsSimplex reports whether the nerve is a single simplex on all its
+// vertices — the "∞-connected" case used in the Thm 4.12 proof, where every
+// subfamily of the cover has nonempty intersection.
+func NerveIsSimplex(nerve *AbstractComplex) bool {
+	verts := nerve.VertexSet()
+	if len(verts) == 0 {
+		return false
+	}
+	return nerve.FacetCount() == 1 && len(nerve.Facets()[0]) == len(verts)
+}

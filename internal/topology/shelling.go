@@ -1,0 +1,128 @@
+package topology
+
+import "fmt"
+
+// IsShellingOrder reports whether the given permutation of facet indices is
+// a shelling order of the pure complex c (§4.4): for every t ≥ 1, the
+// intersection of facet φ_t with the union of the earlier facets must be a
+// pure nonempty subcomplex of dimension d−1 of the boundary of φ_t.
+func IsShellingOrder(c *AbstractComplex, order []int) (bool, error) {
+	if !c.IsPure() {
+		return false, fmt.Errorf("topology: shellability is defined for pure complexes")
+	}
+	facets := c.Facets()
+	if len(order) != len(facets) {
+		return false, fmt.Errorf("topology: order length %d != facet count %d", len(order), len(facets))
+	}
+	seen := make([]bool, len(facets))
+	for _, idx := range order {
+		if idx < 0 || idx >= len(facets) || seen[idx] {
+			return false, fmt.Errorf("topology: %v is not a permutation of facet indices", order)
+		}
+		seen[idx] = true
+	}
+	for t := 1; t < len(order); t++ {
+		if !shellingStepOK(facets, order[:t], order[t]) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// shellingStepOK checks the shelling condition for adding facet next after
+// the prefix: the maximal intersections with earlier facets must all have
+// exactly |next|−1 vertices and there must be at least one.
+func shellingStepOK(facets [][]int, prefix []int, next int) bool {
+	nf := facets[next]
+	inters := make([][]int, 0, len(prefix))
+	for _, i := range prefix {
+		inters = append(inters, intersectSorted(nf, facets[i]))
+	}
+	maxima := maximalSimplexes(inters)
+	if len(maxima) == 0 {
+		return false
+	}
+	for _, m := range maxima {
+		if len(m) != len(nf)-1 {
+			return false
+		}
+	}
+	return true
+}
+
+func intersectSorted(a, b []int) []int {
+	out := make([]int, 0, len(a))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// FindShellingOrder searches for a shelling order of the pure complex c by
+// backtracking over facet orderings, memoizing failed prefixes by their
+// facet set (which is sound because the shelling condition for the next
+// facet depends only on the *set* of facets already placed). It returns the
+// order and true, or nil and false when the complex is not shellable.
+//
+// The search is exponential in the number of facets in the worst case;
+// intended for the small complexes in the paper's figures. Complexes with
+// more than 63 facets are rejected.
+func FindShellingOrder(c *AbstractComplex) ([]int, bool, error) {
+	if !c.IsPure() {
+		return nil, false, fmt.Errorf("topology: shellability is defined for pure complexes")
+	}
+	m := c.FacetCount()
+	if m == 0 {
+		return nil, true, nil
+	}
+	if m > 63 {
+		return nil, false, fmt.Errorf("topology: shelling search limited to 63 facets, got %d", m)
+	}
+	facets := c.Facets()
+	failed := make(map[uint64]bool)
+	order := make([]int, 0, m)
+	var rec func(used uint64) bool
+	rec = func(used uint64) bool {
+		if len(order) == m {
+			return true
+		}
+		if failed[used] {
+			return false
+		}
+		for next := 0; next < m; next++ {
+			if used&(1<<uint(next)) != 0 {
+				continue
+			}
+			if len(order) > 0 && !shellingStepOK(facets, order, next) {
+				continue
+			}
+			order = append(order, next)
+			if rec(used | 1<<uint(next)) {
+				return true
+			}
+			order = order[:len(order)-1]
+		}
+		failed[used] = true
+		return false
+	}
+	if rec(0) {
+		return order, true, nil
+	}
+	return nil, false, nil
+}
+
+// IsShellable reports whether the pure complex c admits a shelling order.
+func IsShellable(c *AbstractComplex) (bool, error) {
+	_, ok, err := FindShellingOrder(c)
+	return ok, err
+}

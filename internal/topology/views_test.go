@@ -1,0 +1,97 @@
+package topology
+
+import (
+	"testing"
+
+	"ksettop/internal/bits"
+)
+
+func TestIViewRoundTrip(t *testing.T) {
+	vals := []int{3, 0, 7, 1}
+	known := bits.New(0, 2)
+	iv, err := MakeIView(known, vals)
+	if err != nil {
+		t.Fatalf("MakeIView: %v", err)
+	}
+	if iv.Known() != known {
+		t.Errorf("Known() = %v, want %v", iv.Known(), known)
+	}
+	if got, ok := iv.Value(0); !ok || got != 3 {
+		t.Errorf("Value(0) = %d %v, want 3", got, ok)
+	}
+	if got, ok := iv.Value(2); !ok || got != 7 {
+		t.Errorf("Value(2) = %d %v, want 7", got, ok)
+	}
+	if _, ok := iv.Value(1); ok {
+		t.Errorf("Value(1) should be unknown")
+	}
+	if _, ok := iv.Value(-1); ok {
+		t.Errorf("Value(-1) should be unknown")
+	}
+	if got := iv.String(); got != "{0:3 2:7}" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestIViewValuesAndMin(t *testing.T) {
+	iv, err := MakeIView(bits.New(0, 1, 3), []int{5, 2, 9, 2})
+	if err != nil {
+		t.Fatalf("MakeIView: %v", err)
+	}
+	vals := iv.Values()
+	if len(vals) != 2 {
+		t.Errorf("Values() = %v, want distinct {5,2}", vals)
+	}
+	minV, ok := iv.MinValue()
+	if !ok || minV != 2 {
+		t.Errorf("MinValue() = %d %v, want 2", minV, ok)
+	}
+	empty := IView(0)
+	if _, ok := empty.MinValue(); ok {
+		t.Errorf("empty view has no min")
+	}
+	if empty.Known() != 0 {
+		t.Errorf("empty view should know nothing")
+	}
+	if empty.String() != "{}" {
+		t.Errorf("empty view String = %q", empty.String())
+	}
+}
+
+func TestIViewErrors(t *testing.T) {
+	if _, err := MakeIView(bits.New(0), make([]int, 9)); err == nil {
+		t.Errorf("more than 8 processes should fail")
+	}
+	if _, err := MakeIView(bits.New(5), []int{1, 2}); err == nil {
+		t.Errorf("view member outside assignment should fail")
+	}
+	if _, err := MakeIView(bits.New(0), []int{255}); err == nil {
+		t.Errorf("value 255 should fail")
+	}
+	if _, err := MakeIView(bits.New(0), []int{-1}); err == nil {
+		t.Errorf("negative value should fail")
+	}
+	if iv, err := MakeIView(bits.New(0), []int{254}); err != nil {
+		t.Errorf("value 254 should be accepted: %v", err)
+	} else if got, ok := iv.Value(0); !ok || got != 254 {
+		t.Errorf("Value(0) = %d %v, want 254", got, ok)
+	}
+}
+
+func TestIViewInjectivity(t *testing.T) {
+	// Distinct (known, values) pairs must produce distinct encodings —
+	// the interpretation step relies on this.
+	vals := []int{1, 0, 1}
+	seen := make(map[IView]bits.Set)
+	bits.Subsets(bits.Full(3), func(known bits.Set) bool {
+		iv, err := MakeIView(known, vals)
+		if err != nil {
+			t.Fatalf("MakeIView: %v", err)
+		}
+		if prev, ok := seen[iv]; ok {
+			t.Fatalf("views %v and %v collide at %v", prev, known, iv)
+		}
+		seen[iv] = known
+		return true
+	})
+}
