@@ -1,0 +1,35 @@
+GO ?= go
+# Benchmark snapshot index: bump per PR so the perf trajectory accumulates
+# (BENCH_1.json, BENCH_2.json, …).
+BENCH_N ?= 1
+
+.PHONY: all build test vet race bench benchjson experiments clean
+
+all: build test vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-check the packages that fan work out across goroutines.
+race:
+	$(GO) test -race ./internal/par/ ./internal/graph/ ./internal/combinat/ .
+
+# Smoke-run every benchmark once (also re-validates the E1–E13 tables).
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Record the machine-readable perf snapshot for this PR.
+benchjson:
+	$(GO) run ./cmd/ksetbench -out BENCH_$(BENCH_N).json
+
+experiments:
+	$(GO) run ./cmd/ksetexperiments
+
+clean:
+	rm -f BENCH_*.json

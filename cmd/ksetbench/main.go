@@ -1,0 +1,211 @@
+// Command ksetbench runs the core micro-benchmarks in-process and writes a
+// machine-readable BENCH_<n>.json snapshot, so the performance trajectory of
+// the hot paths (subset sweeps, solver, homology, closures) is recorded
+// PR over PR and regressions are diffable.
+//
+// Usage:
+//
+//	ksetbench                       # writes BENCH_1.json
+//	ksetbench -out BENCH_7.json     # explicit snapshot name
+//	ksetbench -parallelism 8        # pin the worker-pool size
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"ksettop/internal/combinat"
+	"ksettop/internal/experiments"
+	"ksettop/internal/graph"
+	"ksettop/internal/model"
+	"ksettop/internal/par"
+	"ksettop/internal/protocol"
+	"ksettop/internal/topology"
+)
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type snapshot struct {
+	Timestamp   string        `json:"timestamp"`
+	GoVersion   string        `json:"go_version"`
+	GOOS        string        `json:"goos"`
+	GOARCH      string        `json:"goarch"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	Parallelism int           `json:"parallelism"`
+	Benchmarks  []benchResult `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ksetbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := flag.String("out", "BENCH_1.json", "output JSON path")
+	parallelism := flag.Int("parallelism", 0, "worker-pool size (0 = KSETTOP_PARALLELISM or GOMAXPROCS)")
+	flag.Parse()
+	par.SetParallelism(*parallelism)
+
+	snap := snapshot{
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Parallelism: par.Parallelism(),
+	}
+	for _, b := range benches() {
+		r := testing.Benchmark(b.fn)
+		snap.Benchmarks = append(snap.Benchmarks, benchResult{
+			Name:        b.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+		fmt.Printf("%-24s %12.0f ns/op %10d B/op %8d allocs/op\n",
+			b.name, snap.Benchmarks[len(snap.Benchmarks)-1].NsPerOp,
+			r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", *out)
+	return nil
+}
+
+type bench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// benches mirrors the root bench_test.go micro-benchmarks that track the
+// paper's hot paths; keep the two lists aligned when adding benchmarks.
+func benches() []bench {
+	return []bench{
+		{"DominationNumber", func(b *testing.B) {
+			g, err := graph.BidirectionalRing(12)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if got := combinat.DominationNumber(g); got != 4 {
+					b.Fatalf("γ = %d, want 4", got)
+				}
+			}
+		}},
+		{"CoveringNumbers", func(b *testing.B) {
+			g, err := graph.Cycle(14)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for idx := 1; idx <= 7; idx++ {
+					if _, err := combinat.CoveringNumber(g, idx); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}},
+		{"DistributedDomination", func(b *testing.B) {
+			m, err := model.UnionOfStarsModel(6, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gens := m.Generators()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := combinat.DistributedDominationNumber(gens); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"SymClosure", func(b *testing.B) {
+			g, err := graph.UnionOfStars(6, []int{0, 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				closure, err := graph.SymClosure([]graph.Digraph{g})
+				if err != nil || len(closure) != 15 {
+					b.Fatalf("closure %d graphs, err %v", len(closure), err)
+				}
+			}
+		}},
+		{"HomologyBetti", func(b *testing.B) {
+			m, err := model.NonEmptyKernelModel(4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c, err := topology.UninterpretedComplex(m.Generators())
+			if err != nil {
+				b.Fatal(err)
+			}
+			ac, _, err := c.ToAbstract()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := topology.ReducedBettiNumbers(ac, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"DecisionMapSolver", func(b *testing.B) {
+			m, err := model.NonEmptyKernelModel(3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var all []graph.Digraph
+			if err := m.EnumerateGraphs(func(g graph.Digraph) bool {
+				all = append(all, g)
+				return true
+			}); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := protocol.SolveOneRound(all, 3, 2, 50_000_000)
+				if err != nil || res.Solvable {
+					b.Fatalf("solvable=%v err=%v, want impossibility", res.Solvable, err)
+				}
+			}
+		}},
+		{"E10StarUnions", func(b *testing.B) {
+			var runner experiments.Runner
+			for _, r := range experiments.All() {
+				if r.ID == "E10" {
+					runner = r
+				}
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := runner.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+}

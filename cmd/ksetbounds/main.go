@@ -18,6 +18,7 @@ import (
 
 	"ksettop/internal/cli"
 	"ksettop/internal/core"
+	"ksettop/internal/par"
 )
 
 func main() {
@@ -31,7 +32,9 @@ func run() error {
 	spec := flag.String("model", "star:n=4", "model specification (see package doc)")
 	rounds := flag.Int("rounds", 1, "analyze rounds 1..r")
 	verify := flag.Bool("verify", false, "re-check the one-round bounds mechanically")
+	parallelism := flag.Int("parallelism", 0, "worker-pool size (0 = KSETTOP_PARALLELISM or GOMAXPROCS)")
 	flag.Parse()
+	par.SetParallelism(*parallelism)
 
 	m, err := cli.ParseModel(*spec)
 	if err != nil {

@@ -4,8 +4,14 @@
 //
 // Usage:
 //
-//	ksetexperiments             # run everything
-//	ksetexperiments -only E1,E8 # run a subset
+//	ksetexperiments                 # run everything
+//	ksetexperiments -only E1,E8     # run a subset
+//	ksetexperiments -parallelism 8  # pin the worker-pool size
+//
+// Experiments fan out across the worker pool and their internal subset
+// sweeps shard through the same engine; tables are printed in experiment
+// order and are byte-identical for every -parallelism value (also settable
+// via KSETTOP_PARALLELISM).
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"time"
 
 	"ksettop/internal/experiments"
+	"ksettop/internal/par"
 )
 
 func main() {
@@ -27,7 +34,9 @@ func main() {
 
 func run() error {
 	only := flag.String("only", "", "comma-separated experiment IDs (default all)")
+	parallelism := flag.Int("parallelism", 0, "worker-pool size (0 = KSETTOP_PARALLELISM or GOMAXPROCS)")
 	flag.Parse()
+	par.SetParallelism(*parallelism)
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -35,19 +44,20 @@ func run() error {
 			want[strings.TrimSpace(id)] = true
 		}
 	}
-	failures := 0
+	var selected []experiments.Runner
 	for _, r := range experiments.All() {
-		if len(want) > 0 && !want[r.ID] {
-			continue
+		if len(want) == 0 || want[r.ID] {
+			selected = append(selected, r)
 		}
-		start := time.Now()
-		table, err := r.Run()
-		if err != nil {
-			return fmt.Errorf("%s: %w", r.ID, err)
+	}
+	failures := 0
+	for _, o := range experiments.RunAll(selected) {
+		if o.Err != nil {
+			return fmt.Errorf("%s: %w", o.ID, o.Err)
 		}
-		text := table.Render()
+		text := o.Table.Render()
 		fmt.Print(text)
-		fmt.Printf("(%s in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s in %v)\n\n", o.ID, o.Elapsed.Round(time.Millisecond))
 		if strings.Contains(text, "MISMATCH") || strings.Contains(text, "FAIL") {
 			failures++
 		}

@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"ksettop/internal/cli"
+	"ksettop/internal/par"
 	"ksettop/internal/protocol"
 )
 
@@ -37,7 +38,9 @@ func run() error {
 	mode := flag.String("mode", "worst", "worst | random")
 	seed := flag.Int64("seed", 1, "random seed for -mode random")
 	limit := flag.Int("limit", 4_000_000, "execution budget for -mode worst")
+	parallelism := flag.Int("parallelism", 0, "worker-pool size (0 = KSETTOP_PARALLELISM or GOMAXPROCS)")
 	flag.Parse()
+	par.SetParallelism(*parallelism)
 
 	m, err := cli.ParseModel(*spec)
 	if err != nil {

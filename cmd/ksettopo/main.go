@@ -16,6 +16,7 @@ import (
 
 	"ksettop/internal/cli"
 	"ksettop/internal/model"
+	"ksettop/internal/par"
 	"ksettop/internal/topology"
 )
 
@@ -30,7 +31,9 @@ func run() error {
 	spec := flag.String("model", "star:n=3", "model specification (see ksetbounds)")
 	values := flag.Int("values", 2, "input values for the protocol complex")
 	maxDim := flag.Int("maxdim", -1, "homology dimension cap (default n−2)")
+	parallelism := flag.Int("parallelism", 0, "worker-pool size (0 = KSETTOP_PARALLELISM or GOMAXPROCS)")
 	flag.Parse()
+	par.SetParallelism(*parallelism)
 
 	m, err := cli.ParseModel(*spec)
 	if err != nil {

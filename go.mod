@@ -1,0 +1,3 @@
+module ksettop
+
+go 1.24.0

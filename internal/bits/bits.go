@@ -144,6 +144,107 @@ func Combinations(n, k int, f func(Set) bool) bool {
 	return true
 }
 
+// 64-bit FNV-1a constants, shared by the word-wise interning hashes in
+// internal/graph and internal/protocol so the tables stay in sync.
+const (
+	hashOffset64 = 14695981039346656037
+	hashPrime64  = 1099511628211
+)
+
+// Hash64Seed returns the initial value for a Hash64Mix chain.
+func Hash64Seed() uint64 { return hashOffset64 }
+
+// Hash64Mix folds the word v into the running hash h (FNV-1a, word-wise).
+// Collisions are expected and fine: every user compares full contents on
+// hash equality.
+func Hash64Mix(h, v uint64) uint64 { return (h ^ v) * hashPrime64 }
+
+// binomial[n][k] = C(n,k), saturated at MaxInt64. Pascal's triangle avoids
+// the intermediate overflow a multiplicative formula would hit near C(64,32).
+var binomial = func() [MaxElems + 1][MaxElems + 1]int64 {
+	const maxInt64 = 1<<63 - 1
+	var table [MaxElems + 1][MaxElems + 1]int64
+	for n := 0; n <= MaxElems; n++ {
+		table[n][0] = 1
+		for k := 1; k <= n; k++ {
+			a, b := table[n-1][k-1], table[n-1][k]
+			if a > maxInt64-b {
+				table[n][k] = maxInt64
+			} else {
+				table[n][k] = a + b
+			}
+		}
+	}
+	return table
+}()
+
+// Binomial returns the binomial coefficient C(n, k) for 0 ≤ n ≤ MaxElems,
+// saturated at MaxInt64 (which cannot occur for n ≤ MaxElems) and 0 for
+// k outside [0, n].
+func Binomial(n, k int) int64 {
+	if n < 0 || n > MaxElems || k < 0 || k > n {
+		return 0
+	}
+	return binomial[n][k]
+}
+
+// UnrankCombination returns the k-element subset of {0, …, n-1} with the
+// given rank in increasing mask order (equivalently: colexicographic order on
+// member lists — the order Combinations enumerates). This is the inverse of
+// the combinatorial number system: rank = Σ_i C(c_i, i) for members
+// c_1 < … < c_k.
+func UnrankCombination(n, k int, rank int64) Set {
+	var s Set
+	c := n - 1
+	for i := k; i >= 1; i-- {
+		for c >= i-1 && binomial[c][i] > rank {
+			c--
+		}
+		s = s.With(c)
+		rank -= binomial[c][i]
+		c--
+	}
+	return s
+}
+
+// CombinationsRange calls f on the k-element subsets of {0, …, n-1} with
+// ranks in [from, to), in the same increasing mask order as Combinations
+// (rank 0 is the lowest mask). Enumeration stops early if f returns false; it
+// reports whether enumeration ran to completion.
+//
+// Splitting [0, C(n,k)) into contiguous rank ranges shards the full sweep:
+// the union of the shards visits exactly the sets Combinations visits, once
+// each. Unranking costs O(n) per call; stepping inside a shard is Gosper's
+// hack, as in Combinations.
+func CombinationsRange(n, k int, from, to int64, f func(Set) bool) bool {
+	if k < 0 || k > n {
+		return true
+	}
+	total := Binomial(n, k)
+	if from < 0 {
+		from = 0
+	}
+	if to > total {
+		to = total
+	}
+	if from >= to {
+		return true
+	}
+	v := uint64(UnrankCombination(n, k, from))
+	for i := from; i < to; i++ {
+		if !f(Set(v)) {
+			return false
+		}
+		c := v & (^v + 1)
+		r := v + c
+		if c == 0 { // k == 64 edge: avoid div-by-zero loops
+			break
+		}
+		v = (((v ^ r) >> 2) / c) | r
+	}
+	return true
+}
+
 // Subsets calls f on every subset of s (including the empty set and s
 // itself). Enumeration stops early if f returns false. It reports whether
 // enumeration ran to completion.

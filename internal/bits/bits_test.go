@@ -175,6 +175,118 @@ func TestCombinationsDegenerate(t *testing.T) {
 	})
 }
 
+func TestBinomial(t *testing.T) {
+	binom := func(n, k int) int64 {
+		if k < 0 || k > n {
+			return 0
+		}
+		r := int64(1)
+		for i := 0; i < k; i++ {
+			r = r * int64(n-i) / int64(i+1)
+		}
+		return r
+	}
+	for n := 0; n <= 30; n++ {
+		for k := -1; k <= n+1; k++ {
+			if got, want := Binomial(n, k), binom(n, k); got != want {
+				t.Errorf("Binomial(%d,%d) = %d, want %d", n, k, got, want)
+			}
+		}
+	}
+	if got := Binomial(64, 32); got != 1832624140942590534 {
+		t.Errorf("Binomial(64,32) = %d, want 1832624140942590534", got)
+	}
+	if got := Binomial(-1, 0); got != 0 {
+		t.Errorf("Binomial(-1,0) = %d, want 0", got)
+	}
+	if got := Binomial(65, 1); got != 0 {
+		t.Errorf("Binomial(65,1) = %d, want 0", got)
+	}
+}
+
+// TestUnrankCombinationMatchesEnumeration pins UnrankCombination to the rank
+// order Combinations enumerates in.
+func TestUnrankCombinationMatchesEnumeration(t *testing.T) {
+	for n := 0; n <= 10; n++ {
+		for k := 0; k <= n; k++ {
+			rank := int64(0)
+			Combinations(n, k, func(s Set) bool {
+				if got := UnrankCombination(n, k, rank); got != s {
+					t.Fatalf("UnrankCombination(%d,%d,%d) = %v, want %v", n, k, rank, got, s)
+				}
+				rank++
+				return true
+			})
+		}
+	}
+}
+
+// TestCombinationsRangeShardUnion splits [0, C(n,k)) into shards and checks
+// the concatenation reproduces Combinations exactly, for every (n ≤ 12, k)
+// and several shard counts.
+func TestCombinationsRangeShardUnion(t *testing.T) {
+	for n := 0; n <= 12; n++ {
+		for k := 0; k <= n; k++ {
+			var want []Set
+			Combinations(n, k, func(s Set) bool {
+				want = append(want, s)
+				return true
+			})
+			total := Binomial(n, k)
+			if int(total) != len(want) {
+				t.Fatalf("Binomial(%d,%d) = %d but Combinations yielded %d", n, k, total, len(want))
+			}
+			for _, shards := range []int64{1, 2, 3, 7, total, total + 3} {
+				if shards <= 0 {
+					continue
+				}
+				var got []Set
+				for s := int64(0); s < shards; s++ {
+					from := s * total / shards
+					to := (s + 1) * total / shards
+					CombinationsRange(n, k, from, to, func(set Set) bool {
+						got = append(got, set)
+						return true
+					})
+				}
+				if len(got) != len(want) {
+					t.Fatalf("n=%d k=%d shards=%d: %d sets, want %d", n, k, shards, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("n=%d k=%d shards=%d rank %d: %v, want %v", n, k, shards, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCombinationsRangeEarlyStopAndClamping(t *testing.T) {
+	count := 0
+	done := CombinationsRange(6, 3, 2, 9, func(Set) bool {
+		count++
+		return count < 3
+	})
+	if done || count != 3 {
+		t.Errorf("early stop: done=%v count=%d, want false, 3", done, count)
+	}
+	// Out-of-range bounds clamp; inverted ranges yield nothing.
+	visited := 0
+	CombinationsRange(5, 2, -4, 100, func(Set) bool { visited++; return true })
+	if visited != 10 {
+		t.Errorf("clamped full range visited %d, want 10", visited)
+	}
+	CombinationsRange(5, 2, 7, 3, func(Set) bool {
+		t.Errorf("inverted range should yield nothing")
+		return true
+	})
+	CombinationsRange(5, 9, 0, 1, func(Set) bool {
+		t.Errorf("k>n should yield nothing")
+		return true
+	})
+}
+
 func TestSubsets(t *testing.T) {
 	s := New(1, 4, 6)
 	seen := map[Set]bool{}

@@ -7,15 +7,25 @@
 //
 // All computations are exact. They enumerate subsets, so they are
 // exponential in the number of processes — as are the quantities themselves
-// (domination is NP-hard); the paper's models use small n.
+// (domination is NP-hard); the paper's models use small n. The C(n,i) sweeps
+// are sharded into contiguous rank ranges (bits.CombinationsRange) and
+// drained by the internal/par worker pool; every reducer either selects the
+// lowest-ranked witness or is order-insensitive, so results are identical to
+// the sequential sweep regardless of scheduling.
 package combinat
 
 import (
 	"fmt"
+	mathbits "math/bits"
 
 	"ksettop/internal/bits"
 	"ksettop/internal/graph"
+	"ksettop/internal/par"
 )
+
+// pollMask throttles cancellation polling in the innermost sweep loops to
+// one atomic load every 64 iterations.
+const pollMask = 63
 
 // DominationNumber returns γ(G) (Def 3.1): the size of the smallest set P
 // with ⋃_{p∈P} Out(p) = Π. Self-loops guarantee γ(G) ≤ n.
@@ -30,17 +40,23 @@ func MinDominatingSet(g graph.Digraph) (bits.Set, int) {
 	n := g.N()
 	full := g.Procs()
 	for size := 1; size <= n; size++ {
-		var found bits.Set
-		ok := false
-		bits.Combinations(n, size, func(p bits.Set) bool {
-			if g.OutSet(p) == full {
-				found, ok = p, true
-				return false
-			}
-			return true
+		rank := par.First(bits.Binomial(n, size), func(from, to int64, ctl *par.Ctl) int64 {
+			found, r := int64(-1), from
+			bits.CombinationsRange(n, size, from, to, func(p bits.Set) bool {
+				if r&pollMask == 0 && ctl.SkipAfter(r) {
+					return false
+				}
+				if g.OutSet(p) == full {
+					found = r
+					return false
+				}
+				r++
+				return true
+			})
+			return found
 		})
-		if ok {
-			return found, size
+		if rank >= 0 {
+			return bits.UnrankCombination(n, size, rank), size
 		}
 	}
 	// Unreachable: Π itself always dominates because of self-loops.
@@ -81,23 +97,41 @@ func EqualDominationNumberSet(gens []graph.Digraph) (int, error) {
 
 // CoveringNumber returns cov_i(G) (Def 3.6 applied to one graph): the
 // minimum, over sets P of i processes, of |⋃_{p∈P} Out(p)|. Self-loops give
-// cov_i(G) ≥ i.
+// cov_i(G) ≥ i for EVERY graph, which makes i a sound floor for the
+// min-reduction: the sweep stops as soon as some P attains it.
 func CoveringNumber(g graph.Digraph, i int) (int, error) {
 	n := g.N()
 	if i < 1 || i > n {
 		return 0, fmt.Errorf("combinat: covering index %d outside [1,%d]", i, n)
 	}
-	best := n
-	bits.Combinations(n, i, func(p bits.Set) bool {
-		if c := g.OutSet(p).Count(); c < best {
-			best = c
-		}
-		return best > i // cov_i ≥ i, so stop at the floor
+	best := par.Min(bits.Binomial(n, i), int64(i), func(from, to int64, ctl *par.Ctl) int64 {
+		local, r := int64(n), from
+		bits.CombinationsRange(n, i, from, to, func(p bits.Set) bool {
+			if r&pollMask == 0 && ctl.Stopped() {
+				return false
+			}
+			r++
+			if c := int64(g.OutSet(p).Count()); c < local {
+				local = c
+				if local <= int64(i) {
+					return false // at the floor; nothing below is possible
+				}
+			}
+			return true
+		})
+		return local
 	})
-	return best, nil
+	return int(best), nil
 }
 
 // CoveringNumberSet returns cov_i(S) = min_{G∈S} cov_i(G) (Def 3.6).
+//
+// The floor short-circuit lives HERE, at the min-over-graphs level: each
+// per-graph sweep is exact, and because cov_i(G) ≥ i holds for every graph
+// (self-loops), the remaining graphs are skipped only once some graph has
+// already attained the global floor i — skipping them cannot change the
+// minimum. An earlier revision stopped each per-graph sweep at the floor but
+// kept scanning the remaining graphs for no benefit.
 func CoveringNumberSet(gens []graph.Digraph, i int) (int, error) {
 	if len(gens) == 0 {
 		return 0, fmt.Errorf("combinat: cov_%d of empty graph set", i)
@@ -110,6 +144,9 @@ func CoveringNumberSet(gens []graph.Digraph, i int) (int, error) {
 		}
 		if idx == 0 || c < best {
 			best = c
+		}
+		if best == i {
+			break // global floor attained; no later graph can go lower
 		}
 	}
 	return best, nil
@@ -135,7 +172,9 @@ func DistributedDominationNumber(gens []graph.Digraph) (int, error) {
 }
 
 // distDominatesAll reports whether every (P, S_i) combination of size i
-// jointly dominates Π.
+// jointly dominates Π. The P sweep is sharded; each worker keeps its own
+// out-set scratch and the inner graph-subset sweep runs sequentially (the
+// number of generators is small next to C(n,i)).
 func distDominatesAll(gens []graph.Digraph, i int) bool {
 	n := gens[0].N()
 	full := bits.Full(n)
@@ -143,19 +182,31 @@ func distDominatesAll(gens []graph.Digraph, i int) bool {
 	if si > len(gens) {
 		si = len(gens)
 	}
-	ok := true
-	bits.Combinations(n, i, func(p bits.Set) bool {
-		bits.Combinations(len(gens), si, func(gsel bits.Set) bool {
-			var union bits.Set
-			gsel.ForEach(func(gi int) { union = union.Union(gens[gi].OutSet(p)) })
-			if union != full {
-				ok = false
+	return !par.Exists(bits.Binomial(n, i), func(from, to int64, ctl *par.Ctl) bool {
+		outs := make([]bits.Set, len(gens))
+		violated, r := false, from
+		bits.CombinationsRange(n, i, from, to, func(p bits.Set) bool {
+			if r&pollMask == 0 && ctl.Stopped() {
+				return false
 			}
-			return ok
+			r++
+			for gi, g := range gens {
+				outs[gi] = g.OutSet(p)
+			}
+			bits.Combinations(len(gens), si, func(gsel bits.Set) bool {
+				var union bits.Set
+				for t := uint64(gsel); t != 0; t &= t - 1 {
+					union |= outs[mathbits.TrailingZeros64(t)]
+				}
+				if union != full {
+					violated = true
+				}
+				return !violated
+			})
+			return !violated
 		})
-		return ok
+		return violated
 	})
-	return ok
 }
 
 // DistributedDominationNumberEffective returns the value of γ_dist(S) that
@@ -173,6 +224,46 @@ func DistributedDominationNumberEffective(gens []graph.Digraph) (int, error) {
 	return EqualDominationNumberSet(gens)
 }
 
+// maxCoverScan is the shared shard scanner of the max-covering sweeps: the
+// maximum of |⋃_{G∈S_i} Out_G(P)| over the shard's P range and the graph
+// subsets selected by sizes, restricted to non-dominating combinations, or
+// -1 when every combination in the shard dominates. The n−1 ceiling is exact
+// (a non-dominating union misses at least one process), so attaining it
+// cancels the remaining shards.
+func maxCoverScan(gens []graph.Digraph, n, i int, sizes []int, from, to int64, ctl *par.Ctl) int64 {
+	full := bits.Full(n)
+	outs := make([]bits.Set, len(gens))
+	local, r := int64(-1), from
+	bits.CombinationsRange(n, i, from, to, func(p bits.Set) bool {
+		if r&pollMask == 0 && ctl.Stopped() {
+			return false
+		}
+		r++
+		for gi, g := range gens {
+			outs[gi] = g.OutSet(p)
+		}
+		for _, size := range sizes {
+			bits.Combinations(len(gens), size, func(gsel bits.Set) bool {
+				var union bits.Set
+				for t := uint64(gsel); t != 0; t &= t - 1 {
+					union |= outs[mathbits.TrailingZeros64(t)]
+				}
+				if union != full {
+					if c := int64(union.Count()); c > local {
+						local = c
+					}
+				}
+				return local < int64(n-1)
+			})
+			if local == int64(n-1) {
+				break
+			}
+		}
+		return local < int64(n-1)
+	})
+	return local
+}
+
 // MaxCoveringNumber returns max-cov_i(S) (Def 5.3): the maximum, over sets P
 // of i processes and subsets S_i ⊆ S of size min(i,|S|) whose joint
 // out-union is NOT all of Π, of |⋃_{G∈S_i} Out_G(P)|.
@@ -187,27 +278,17 @@ func MaxCoveringNumber(gens []graph.Digraph, i int) (int, bool, error) {
 	if i < 1 || i > n {
 		return 0, false, fmt.Errorf("combinat: max-cov index %d outside [1,%d]", i, n)
 	}
-	full := bits.Full(n)
 	si := i
 	if si > len(gens) {
 		si = len(gens)
 	}
-	best, found := 0, false
-	bits.Combinations(n, i, func(p bits.Set) bool {
-		bits.Combinations(len(gens), si, func(gsel bits.Set) bool {
-			var union bits.Set
-			gsel.ForEach(func(gi int) { union = union.Union(gens[gi].OutSet(p)) })
-			if union != full {
-				found = true
-				if c := union.Count(); c > best {
-					best = c
-				}
-			}
-			return true
-		})
-		return true
+	best := par.Max(bits.Binomial(n, i), int64(n-1), func(from, to int64, ctl *par.Ctl) int64 {
+		return maxCoverScan(gens, n, i, []int{si}, from, to, ctl)
 	})
-	return best, found, nil
+	if best < 0 {
+		return 0, false, nil
+	}
+	return int(best), true, nil
 }
 
 // MaxCoveringNumberEffective returns max-cov_i(S) under the same witness
@@ -224,29 +305,21 @@ func MaxCoveringNumberEffective(gens []graph.Digraph, i int) (int, bool, error) 
 	if i < 1 || i > n {
 		return 0, false, fmt.Errorf("combinat: max-cov index %d outside [1,%d]", i, n)
 	}
-	full := bits.Full(n)
 	maxSize := i
 	if maxSize > len(gens) {
 		maxSize = len(gens)
 	}
-	best, found := 0, false
+	sizes := make([]int, 0, maxSize)
 	for size := 1; size <= maxSize; size++ {
-		bits.Combinations(n, i, func(p bits.Set) bool {
-			bits.Combinations(len(gens), size, func(gsel bits.Set) bool {
-				var union bits.Set
-				gsel.ForEach(func(gi int) { union = union.Union(gens[gi].OutSet(p)) })
-				if union != full {
-					found = true
-					if c := union.Count(); c > best {
-						best = c
-					}
-				}
-				return true
-			})
-			return true
-		})
+		sizes = append(sizes, size)
 	}
-	return best, found, nil
+	best := par.Max(bits.Binomial(n, i), int64(n-1), func(from, to int64, ctl *par.Ctl) int64 {
+		return maxCoverScan(gens, n, i, sizes, from, to, ctl)
+	})
+	if best < 0 {
+		return 0, false, nil
+	}
+	return int(best), true, nil
 }
 
 // MaxCoveringCoefficientEffective returns M_i(S) computed from

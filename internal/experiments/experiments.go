@@ -7,6 +7,11 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ksettop/internal/par"
 )
 
 // Table is one experiment's result table.
@@ -77,6 +82,52 @@ func (t *Table) Render() string {
 type Runner struct {
 	ID  string
 	Run func() (*Table, error)
+}
+
+// Outcome is one experiment's result under RunAll.
+type Outcome struct {
+	ID      string
+	Table   *Table
+	Elapsed time.Duration
+	Err     error
+}
+
+// RunAll runs the given experiments, fanning them out across
+// par.Parallelism() workers (each experiment's internal sweeps additionally
+// shard through the same engine, so up to workers² goroutines can be
+// runnable — the scheduler multiplexes them; Outcome.Elapsed therefore
+// includes contention and is comparable across runs only at -parallelism 1).
+// Outcomes come back in input order, so reports are byte-identical to a
+// sequential run; every experiment is a pure computation, which makes the
+// fan-out safe.
+func RunAll(runners []Runner) []Outcome {
+	outcomes := make([]Outcome, len(runners))
+	workers := par.Parallelism()
+	if workers > len(runners) {
+		workers = len(runners)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(runners) {
+					return
+				}
+				start := time.Now()
+				table, err := runners[i].Run()
+				outcomes[i] = Outcome{ID: runners[i].ID, Table: table, Elapsed: time.Since(start), Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return outcomes
 }
 
 // All returns every experiment in DESIGN.md order.

@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"ksettop/internal/par"
 )
 
 // TestAllExperimentsPass runs every experiment and fails on any MISMATCH or
@@ -42,6 +44,40 @@ func TestTableRender(t *testing.T) {
 	for _, want := range []string{"== T: demo ==", "long-cell", "note: note 7"} {
 		if !strings.Contains(text, want) {
 			t.Errorf("render missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestRunAllDeterministicAcrossParallelism renders a fast experiment subset
+// under several worker counts and requires byte-identical tables — the
+// determinism guarantee of the sharded engine, end to end.
+func TestRunAllDeterministicAcrossParallelism(t *testing.T) {
+	var subset []Runner
+	for _, r := range All() {
+		switch r.ID {
+		case "E7", "E9", "E10", "E11":
+			subset = append(subset, r)
+		}
+	}
+	render := func() string {
+		out := ""
+		for _, o := range RunAll(subset) {
+			if o.Err != nil {
+				t.Fatalf("%s: %v", o.ID, o.Err)
+			}
+			out += o.Table.Render()
+		}
+		return out
+	}
+	par.SetParallelism(1)
+	want := render()
+	par.SetParallelism(0)
+	for _, workers := range []int{2, 8} {
+		par.SetParallelism(workers)
+		got := render()
+		par.SetParallelism(0)
+		if got != want {
+			t.Errorf("workers=%d: tables differ from sequential run:\n--- got ---\n%s\n--- want ---\n%s", workers, got, want)
 		}
 	}
 }

@@ -9,6 +9,7 @@ package graph
 
 import (
 	"fmt"
+	mathbits "math/bits"
 	"strings"
 
 	"ksettop/internal/bits"
@@ -110,17 +111,23 @@ func (g Digraph) In(v int) bits.Set {
 }
 
 // OutSet returns ⋃_{u∈P} Out(u), the processes that hear at least one member
-// of P.
+// of P. This sits in the innermost loop of every subset sweep in
+// internal/combinat, so it iterates set bits directly instead of going
+// through a callback.
 func (g Digraph) OutSet(p bits.Set) bits.Set {
 	var out bits.Set
-	p.ForEach(func(u int) { out = out.Union(g.out[u]) })
+	for t := uint64(p); t != 0; t &= t - 1 {
+		out |= g.out[mathbits.TrailingZeros64(t)]
+	}
 	return out
 }
 
 // InSet returns ⋃_{v∈P} In(v).
 func (g Digraph) InSet(p bits.Set) bits.Set {
 	var in bits.Set
-	p.ForEach(func(v int) { in = in.Union(g.In(v)) })
+	for t := uint64(p); t != 0; t &= t - 1 {
+		in |= g.In(mathbits.TrailingZeros64(t))
+	}
 	return in
 }
 

@@ -2,7 +2,12 @@ package graph
 
 import (
 	"fmt"
+	mathbits "math/bits"
+	"slices"
 	"sort"
+
+	"ksettop/internal/bits"
+	"ksettop/internal/par"
 )
 
 // Permute returns π(g): the graph with edge π(u)→π(v) for every edge u→v of
@@ -19,12 +24,20 @@ func Permute(g Digraph, perm []int) (Digraph, error) {
 		seen[v] = true
 	}
 	p := MustNew(g.n)
-	for u := 0; u < g.n; u++ {
-		g.out[u].ForEach(func(v int) {
-			p.out[perm[u]] = p.out[perm[u]].With(perm[v])
-		})
-	}
+	permuteRows(g, perm, p.out)
 	return p, nil
+}
+
+// permuteRows writes the adjacency rows of π(g) into rows (len n). The
+// caller guarantees perm is a valid permutation.
+func permuteRows(g Digraph, perm []int, rows []bits.Set) {
+	for u := 0; u < g.n; u++ {
+		var row bits.Set
+		for t := uint64(g.out[u]); t != 0; t &= t - 1 {
+			row = row.With(perm[mathbits.TrailingZeros64(t)])
+		}
+		rows[perm[u]] = row
+	}
 }
 
 // Permutations calls f on every permutation of 0..n-1 (Heap's algorithm).
@@ -56,34 +69,206 @@ func Permutations(n int, f func(perm []int) bool) {
 	}
 }
 
+// maxRankedPerms bounds the sizes PermutationsRange supports: factorials
+// beyond 20! overflow int64 (and could never be enumerated anyway).
+const maxRankedPerms = 20
+
+// Factorial returns n! for 0 ≤ n ≤ 20; larger n returns -1 (overflow).
+func Factorial(n int) int64 {
+	if n < 0 || n > maxRankedPerms {
+		return -1
+	}
+	f := int64(1)
+	for i := 2; i <= n; i++ {
+		f *= int64(i)
+	}
+	return f
+}
+
+// unrankPermutation writes the rank-th permutation of 0..n-1 in lexicographic
+// order into perm (factorial number system / Lehmer code).
+func unrankPermutation(n int, rank int64, perm []int) {
+	avail := make([]int, n)
+	for i := range avail {
+		avail[i] = i
+	}
+	radix := Factorial(n - 1)
+	for i := 0; i < n; i++ {
+		idx := int64(0)
+		if radix > 0 {
+			idx = rank / radix
+			rank %= radix
+		}
+		perm[i] = avail[idx]
+		avail = append(avail[:idx], avail[idx+1:]...)
+		if n-1-i > 0 {
+			radix /= int64(n - 1 - i)
+		}
+	}
+}
+
+// nextPermutation steps perm to its lexicographic successor; it reports false
+// when perm was the last permutation.
+func nextPermutation(perm []int) bool {
+	i := len(perm) - 2
+	for i >= 0 && perm[i] >= perm[i+1] {
+		i--
+	}
+	if i < 0 {
+		return false
+	}
+	j := len(perm) - 1
+	for perm[j] <= perm[i] {
+		j--
+	}
+	perm[i], perm[j] = perm[j], perm[i]
+	for l, r := i+1, len(perm)-1; l < r; l, r = l+1, r-1 {
+		perm[l], perm[r] = perm[r], perm[l]
+	}
+	return true
+}
+
+// PermutationsRange calls f on the permutations of 0..n-1 with lexicographic
+// ranks in [from, to). Enumeration stops early if f returns false. Splitting
+// [0, n!) into contiguous rank ranges shards the full sweep. n must be ≤ 20
+// (ranks are int64); larger n is an error.
+func PermutationsRange(n int, from, to int64, f func(perm []int) bool) error {
+	total := Factorial(n)
+	if total < 0 {
+		return fmt.Errorf("graph: permutation ranks overflow for n = %d (max %d)", n, maxRankedPerms)
+	}
+	if from < 0 {
+		from = 0
+	}
+	if to > total {
+		to = total
+	}
+	if from >= to || n == 0 {
+		return nil
+	}
+	perm := make([]int, n)
+	unrankPermutation(n, from, perm)
+	for i := from; i < to; i++ {
+		if !f(perm) {
+			return nil
+		}
+		if !nextPermutation(perm) {
+			break
+		}
+	}
+	return nil
+}
+
+// digraphSet deduplicates graphs without building per-graph string keys: a
+// 64-bit FNV-1a hash over the adjacency rows selects a bucket, and bucket
+// members are compared row-by-row.
+type digraphSet struct {
+	buckets map[uint64][]Digraph
+	count   int
+}
+
+func newDigraphSet() *digraphSet {
+	return &digraphSet{buckets: make(map[uint64][]Digraph)}
+}
+
+func hashRows(rows []bits.Set) uint64 {
+	h := bits.Hash64Seed()
+	for _, row := range rows {
+		h = bits.Hash64Mix(h, uint64(row))
+	}
+	return h
+}
+
+// addRows inserts the graph with the given adjacency rows unless an equal
+// graph is present; it reports whether an insert happened.
+func (s *digraphSet) addRows(n int, rows []bits.Set) bool {
+	h := hashRows(rows)
+	for _, g := range s.buckets[h] {
+		if slices.Equal(g.out, rows) {
+			return false
+		}
+	}
+	out := make([]bits.Set, n)
+	copy(out, rows)
+	s.buckets[h] = append(s.buckets[h], Digraph{n: n, out: out})
+	s.count++
+	return true
+}
+
+// add inserts g (sharing its rows, which must not be mutated afterwards).
+func (s *digraphSet) add(g Digraph) bool {
+	h := hashRows(g.out)
+	for _, have := range s.buckets[h] {
+		if slices.Equal(have.out, g.out) {
+			return false
+		}
+	}
+	s.buckets[h] = append(s.buckets[h], g)
+	s.count++
+	return true
+}
+
+func (s *digraphSet) graphs() []Digraph {
+	out := make([]Digraph, 0, s.count)
+	for _, bucket := range s.buckets {
+		out = append(out, bucket...)
+	}
+	sortByKey(out)
+	return out
+}
+
 // SymClosure returns Sym(S) = {π(G) | G ∈ S, π a permutation} (Def 2.4),
-// deduplicated and in canonical order. This is exponential in n; intended
-// for the small process counts the paper's examples use.
+// deduplicated and sorted by canonical key. The n! permutation sweep is
+// sharded across the par worker pool; each worker deduplicates locally and
+// the shard sets are merged afterwards, so the (sorted) result is
+// deterministic regardless of scheduling. Exponential in n; intended for the
+// small process counts the paper's examples use.
 func SymClosure(gens []Digraph) ([]Digraph, error) {
 	if len(gens) == 0 {
 		return nil, fmt.Errorf("graph: symmetric closure of empty generator list")
 	}
 	n := gens[0].n
-	seen := make(map[string]Digraph)
 	for _, g := range gens {
 		if g.n != n {
 			return nil, fmt.Errorf("graph: mixed sizes %d and %d in generator list", n, g.n)
 		}
-		var permErr error
-		Permutations(n, func(perm []int) bool {
-			p, err := Permute(g, perm)
-			if err != nil {
-				permErr = err
-				return false
+	}
+	total := Factorial(n)
+	if total < 0 {
+		return nil, fmt.Errorf("graph: symmetric closure of %d processes is not enumerable", n)
+	}
+
+	global := newDigraphSet()
+	// locals is presized, so the shard count is fixed here and passed down —
+	// ForEachShard recomputing it could disagree if SetParallelism runs
+	// concurrently.
+	shards := par.NumShards(total)
+	locals := make([]*digraphSet, shards)
+	par.ForEachShardN(total, shards, &par.Ctl{}, func(shard int, from, to int64, _ *par.Ctl) {
+		local := newDigraphSet()
+		rows := make([]bits.Set, n)
+		// In-range by the guard above.
+		_ = PermutationsRange(n, from, to, func(perm []int) bool {
+			// permuteRows writes every entry of rows, so no reset is needed.
+			for _, g := range gens {
+				permuteRows(g, perm, rows)
+				local.addRows(n, rows)
 			}
-			seen[p.Key()] = p
 			return true
 		})
-		if permErr != nil {
-			return nil, permErr
+		locals[shard] = local
+	})
+	for _, local := range locals {
+		if local == nil {
+			continue
+		}
+		for _, bucket := range local.buckets {
+			for _, g := range bucket {
+				global.add(g)
+			}
 		}
 	}
-	return collect(seen), nil
+	return global.graphs(), nil
 }
 
 // IsSymmetric reports whether the generator set equals its symmetric closure

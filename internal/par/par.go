@@ -1,0 +1,267 @@
+// Package par is the worker fan-out engine behind the exponential subset
+// sweeps in internal/combinat, internal/graph and internal/experiments.
+//
+// Work is expressed as a contiguous rank space [0, total) — combination
+// ranks, permutation ranks, experiment indices — split into contiguous
+// shards. A pool of up to Parallelism() goroutines drains the shards in
+// ascending order; every shard scanner receives a *Ctl and is expected to
+// poll it so that early-exit sweeps (first witness found, floor reached,
+// counterexample seen) cancel promptly across all workers.
+//
+// Determinism: every reducer is either order-insensitive (Exists, Min, Max)
+// or selects the lowest-ranked witness (First), so results are identical
+// regardless of goroutine scheduling and identical to a sequential sweep of
+// the same rank order. Small totals (or Parallelism() == 1) run inline on
+// the calling goroutine with zero fan-out overhead.
+package par
+
+import (
+	"math"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvParallelism is the environment variable that overrides the default
+// worker count (a positive integer; 0 or unset means GOMAXPROCS).
+const EnvParallelism = "KSETTOP_PARALLELISM"
+
+// seqThreshold is the rank-space size below which fan-out overhead would
+// dominate; smaller sweeps run inline on the calling goroutine.
+const seqThreshold = 4096
+
+// shardsPerWorker oversubscribes shards so that uneven shard costs are
+// rebalanced by the pool and cancellation is observed at shard granularity.
+const shardsPerWorker = 8
+
+var override atomic.Int64
+
+// Parallelism returns the effective worker-pool size: SetParallelism's value
+// if set, else the KSETTOP_PARALLELISM environment variable, else
+// GOMAXPROCS. Always ≥ 1.
+func Parallelism() int {
+	if n := override.Load(); n > 0 {
+		return int(n)
+	}
+	if s := os.Getenv(EnvParallelism); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetParallelism fixes the worker-pool size; n ≤ 0 restores the automatic
+// default. Safe for concurrent use.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	override.Store(int64(n))
+}
+
+// Ctl is the shared cancellation state of one fan-out. Shard scanners poll
+// it between iterations; polling is a single atomic load.
+type Ctl struct {
+	stop  atomic.Bool
+	bound atomic.Int64 // for First: lowest witness rank published so far
+}
+
+// Stop requests global cancellation of the sweep.
+func (c *Ctl) Stop() { c.stop.Store(true) }
+
+// Stopped reports whether the sweep has been cancelled.
+func (c *Ctl) Stopped() bool { return c.stop.Load() }
+
+// SkipAfter reports whether scanning ranks ≥ rank has become pointless for a
+// First sweep: either a witness with a lower rank is already published or the
+// sweep was cancelled outright.
+func (c *Ctl) SkipAfter(rank int64) bool {
+	return rank >= c.bound.Load() || c.stop.Load()
+}
+
+// publishWitness lowers the shared witness bound to rank (no-op if a lower
+// witness is already published).
+func (c *Ctl) publishWitness(rank int64) {
+	for {
+		b := c.bound.Load()
+		if rank >= b {
+			return
+		}
+		if c.bound.CompareAndSwap(b, rank) {
+			return
+		}
+	}
+}
+
+// NumShards reports how many shards ForEachShard will split [0, total) into.
+func NumShards(total int64) int {
+	if total <= 0 {
+		return 0
+	}
+	workers := int64(Parallelism())
+	if workers <= 1 || total < seqThreshold {
+		return 1
+	}
+	shards := workers * shardsPerWorker
+	if shards > total {
+		shards = total
+	}
+	return int(shards)
+}
+
+// ForEachShard splits [0, total) into NumShards(total) contiguous shards and
+// runs scan(shard, from, to, ctl) for each on a pool of Parallelism()
+// workers, ascending shard order first. It returns after every shard has run
+// or observed cancellation. With a single shard, scan runs inline.
+//
+// Callers that presize per-shard result storage must use ForEachShardN with
+// their own NumShards value — Parallelism can change between the two calls.
+func ForEachShard(total int64, ctl *Ctl, scan func(shard int, from, to int64, ctl *Ctl)) {
+	ForEachShardN(total, NumShards(total), ctl, scan)
+}
+
+// ForEachShardN is ForEachShard with an explicit shard count (≥ 1 when
+// total > 0; values from NumShards are always valid).
+func ForEachShardN(total int64, shards int, ctl *Ctl, scan func(shard int, from, to int64, ctl *Ctl)) {
+	if total <= 0 || shards <= 0 {
+		return
+	}
+	if shards == 1 {
+		scan(0, 0, total, ctl)
+		return
+	}
+	// Balanced bounds without s*total products, which overflow int64 for
+	// rank spaces near C(64,32): the first rem shards get base+1 ranks.
+	base, rem := total/int64(shards), total%int64(shards)
+	bounds := func(s int64) (int64, int64) {
+		from := s * base
+		if s < rem {
+			from += s
+		} else {
+			from += rem
+		}
+		to := from + base
+		if s < rem {
+			to++
+		}
+		return from, to
+	}
+	workers := Parallelism()
+	if workers > shards {
+		workers = shards
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				s := next.Add(1) - 1
+				if s >= int64(shards) {
+					return
+				}
+				if ctl.Stopped() {
+					continue // drain remaining shards without scanning
+				}
+				from, to := bounds(s)
+				scan(int(s), from, to, ctl)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// First returns the smallest rank in [0, total) accepted by the sweep, or -1
+// if none is. scan must visit the ranks of its shard in ascending order and
+// return the first accepted rank (or -1); it should poll ctl.SkipAfter(rank)
+// and abort once it reports true — any witness at or beyond that rank cannot
+// be the global first. The result is the lexicographically-first witness in
+// rank order, independent of scheduling.
+func First(total int64, scan func(from, to int64, ctl *Ctl) int64) int64 {
+	ctl := &Ctl{}
+	ctl.bound.Store(math.MaxInt64)
+	ForEachShard(total, ctl, func(_ int, from, to int64, c *Ctl) {
+		if c.SkipAfter(from) {
+			return // a lower-ranked witness already covers this whole shard
+		}
+		if r := scan(from, to, c); r >= 0 {
+			c.publishWitness(r)
+		}
+	})
+	if best := ctl.bound.Load(); best != math.MaxInt64 {
+		return best
+	}
+	return -1
+}
+
+// Exists reports whether some rank in [0, total) is accepted. scan reports
+// whether its shard contains an accepted rank; it should poll ctl.Stopped()
+// and abort early. The first acceptance cancels all other shards.
+func Exists(total int64, scan func(from, to int64, ctl *Ctl) bool) bool {
+	ctl := &Ctl{}
+	var found atomic.Bool
+	ForEachShard(total, ctl, func(_ int, from, to int64, c *Ctl) {
+		if scan(from, to, c) {
+			found.Store(true)
+			c.Stop()
+		}
+	})
+	return found.Load()
+}
+
+// Min returns the minimum of the shard-local minima. floor is a proven lower
+// bound on the result: once the running minimum reaches floor the sweep is
+// cancelled globally (scanners observe it via ctl.Stopped()). scan returns
+// the minimum over its shard, or a value ≥ any candidate (e.g. the domain
+// maximum) when the shard is empty or aborted early.
+func Min(total, floor int64, scan func(from, to int64, ctl *Ctl) int64) int64 {
+	ctl := &Ctl{}
+	best := atomic.Int64{}
+	best.Store(math.MaxInt64)
+	ForEachShard(total, ctl, func(_ int, from, to int64, c *Ctl) {
+		local := scan(from, to, c)
+		for {
+			b := best.Load()
+			if local >= b {
+				return
+			}
+			if best.CompareAndSwap(b, local) {
+				if local <= floor {
+					c.Stop()
+				}
+				return
+			}
+		}
+	})
+	return best.Load()
+}
+
+// Max returns the maximum of the shard-local maxima. ceil is a proven upper
+// bound on the result: once the running maximum reaches ceil the sweep is
+// cancelled globally. scan returns the maximum over its shard, or a value ≤
+// any candidate (e.g. -1) when the shard is empty or aborted early.
+func Max(total, ceil int64, scan func(from, to int64, ctl *Ctl) int64) int64 {
+	ctl := &Ctl{}
+	best := atomic.Int64{}
+	best.Store(math.MinInt64)
+	ForEachShard(total, ctl, func(_ int, from, to int64, c *Ctl) {
+		local := scan(from, to, c)
+		for {
+			b := best.Load()
+			if local <= b {
+				return
+			}
+			if best.CompareAndSwap(b, local) {
+				if local >= ceil {
+					c.Stop()
+				}
+				return
+			}
+		}
+	})
+	return best.Load()
+}

@@ -3,8 +3,9 @@ package protocol
 import (
 	"fmt"
 	mathbits "math/bits"
-	"sort"
+	"slices"
 
+	"ksettop/internal/bits"
 	"ksettop/internal/graph"
 )
 
@@ -67,55 +68,70 @@ func SolveOneRound(roundGraphs []graph.Digraph, numValues, k, nodeBudget int) (S
 		}
 	}
 
+	// The view of process p under graph g depends only on In_g(p) and the
+	// assignment, so the distinct in-neighborhoods across all graphs are
+	// collected once up front: per assignment, each distinct in-set is
+	// flattened and interned exactly once instead of n×|graphs| times.
+	inSetID := make(map[bits.Set]int)
+	var inSets []bits.Set
+	graphIn := make([][]int32, len(roundGraphs))
+	for gi, g := range roundGraphs {
+		row := make([]int32, n)
+		for p := 0; p < n; p++ {
+			in := g.In(p)
+			id, ok := inSetID[in]
+			if !ok {
+				id = len(inSets)
+				inSetID[in] = id
+				inSets = append(inSets, in)
+			}
+			row[p] = int32(id)
+		}
+		graphIn[gi] = row
+	}
+
 	// Build the view universe and the execution constraints. Distinct
 	// executions frequently induce identical view SETS (e.g. every graph of
 	// a closure that leaves in-neighborhoods unchanged); since the
 	// constraint "≤ k distinct decisions" depends only on the view set,
 	// constraints are deduplicated, which shrinks hard instances by orders
-	// of magnitude.
-	type viewInfo struct {
-		id     int
-		values []Value // distinct values present, ascending: the domain
-		execs  []int
-	}
-	views := make(map[string]*viewInfo)
-	var viewList []*viewInfo
-	var execViews [][]int // per unique constraint, sorted unique view ids
-	seenConstraint := make(map[string]bool)
+	// of magnitude. Both tables intern through 64-bit hashes with full
+	// content comparison — no per-execution key strings or view slices are
+	// allocated; memory grows only with the number of DISTINCT views and
+	// constraints.
+	views := newViewIntern(n)
+	constraints := newConstraintIntern()
+	var execViews [][]int32 // per unique constraint, sorted unique view ids
+	var viewExecs [][]int   // per view, ascending unique constraint indices
 	totalExecs := 0
 
 	assignment := make([]Value, n)
+	viewOfInSet := make([]int32, len(inSets))
+	scratchIDs := make([]int32, 0, n)
 	for {
-		for _, g := range roundGraphs {
+		for s, in := range inSets {
+			viewOfInSet[s] = views.intern(in, assignment)
+		}
+		for id := len(viewExecs); id < len(views.views); id++ {
+			viewExecs = append(viewExecs, nil)
+		}
+		for gi := range roundGraphs {
 			totalExecs++
-			ids := make([]int, 0, n)
+			row := graphIn[gi]
+			ids := scratchIDs
 			for p := 0; p < n; p++ {
-				v := NewView(n)
-				g.In(p).ForEach(func(q int) { v[q] = assignment[q] })
-				key := ViewKey(v)
-				info, ok := views[key]
-				if !ok {
-					info = &viewInfo{id: len(viewList), values: v.DistinctValues()}
-					sort.Ints(info.values)
-					views[key] = info
-					viewList = append(viewList, info)
-				}
-				ids = append(ids, info.id)
+				ids = append(ids, viewOfInSet[row[p]])
 			}
-			sort.Ints(ids)
-			ids = dedupInts(ids)
-			ckey := constraintKey(ids)
-			if seenConstraint[ckey] {
+			ids = sortDedupInt32(ids)
+			if !constraints.insert(ids) {
 				continue
 			}
-			seenConstraint[ckey] = true
 			e := len(execViews)
-			execViews = append(execViews, ids)
+			cp := make([]int32, len(ids))
+			copy(cp, ids)
+			execViews = append(execViews, cp)
 			for _, id := range ids {
-				info := viewList[id]
-				if len(info.execs) == 0 || info.execs[len(info.execs)-1] != e {
-					info.execs = append(info.execs, e)
-				}
+				viewExecs[id] = append(viewExecs[id], e)
 			}
 		}
 		if !incCounter(assignment, numValues) {
@@ -123,7 +139,7 @@ func SolveOneRound(roundGraphs []graph.Digraph, numValues, k, nodeBudget int) (S
 		}
 	}
 
-	res := SolveResult{Views: len(viewList), Executions: totalExecs}
+	res := SolveResult{Views: len(views.views), Executions: totalExecs}
 	if numValues > 16 {
 		return res, fmt.Errorf("protocol: solver supports ≤16 values, got %d", numValues)
 	}
@@ -132,21 +148,22 @@ func SolveOneRound(roundGraphs []graph.Digraph, numValues, k, nodeBudget int) (S
 		k:         k,
 		numValues: numValues,
 		execViews: execViews,
-		decided:   make([]Value, len(viewList)),
-		domains:   make([]uint16, len(viewList)),
+		decided:   make([]Value, len(views.views)),
+		domains:   make([]uint16, len(views.views)),
 		counts:    make([][]int, len(execViews)),
 		distinct:  make([]int, len(execViews)),
 		valueMask: make([]uint16, len(execViews)),
-		viewExecs: make([][]int, len(viewList)),
+		viewExecs: viewExecs,
 	}
-	for i, info := range viewList {
+	for i, v := range views.views {
 		s.decided[i] = NoValue
 		var dom uint16
-		for _, v := range info.values {
-			dom |= 1 << uint(v)
+		for _, val := range v {
+			if val != NoValue {
+				dom |= 1 << uint(val)
+			}
 		}
 		s.domains[i] = dom
-		s.viewExecs[i] = info.execs
 	}
 	for e := range execViews {
 		s.counts[e] = make([]int, numValues)
@@ -157,14 +174,166 @@ func SolveOneRound(roundGraphs []graph.Digraph, numValues, k, nodeBudget int) (S
 		return res, err
 	}
 	if solved {
-		table := make(map[string]Value, len(views))
-		for key, info := range views {
-			table[key] = s.decided[info.id]
+		table := make(map[string]Value, len(views.views))
+		for id, v := range views.views {
+			table[ViewKey(v)] = s.decided[id]
 		}
 		res.Solvable = true
 		res.Map = &DecisionMap{R: 1, Table: table}
 	}
 	return res, nil
+}
+
+// viewIntern deduplicates flattened views through an open-addressed hash
+// table. Probing compares full view contents, so hash collisions are
+// harmless; a View is allocated only for each DISTINCT view.
+type viewIntern struct {
+	n       int
+	mask    uint64  // table length − 1 (power of two)
+	slots   []int32 // view id + 1, 0 = empty
+	views   []View
+	hashes  []uint64
+	scratch View
+}
+
+func newViewIntern(n int) *viewIntern {
+	const initial = 256
+	return &viewIntern{
+		n:       n,
+		mask:    initial - 1,
+		slots:   make([]int32, initial),
+		scratch: make(View, n),
+	}
+}
+
+// intern flattens (in, assignment) into the scratch view and returns the id
+// of the equal interned view, inserting it first if new.
+func (vi *viewIntern) intern(in bits.Set, assignment []Value) int32 {
+	v := vi.scratch
+	for i := range v {
+		v[i] = NoValue
+	}
+	for t := uint64(in); t != 0; t &= t - 1 {
+		q := mathbits.TrailingZeros64(t)
+		v[q] = assignment[q]
+	}
+	h := bits.Hash64Seed()
+	for _, val := range v {
+		h = bits.Hash64Mix(h, uint64(val+1))
+	}
+	idx := h & vi.mask
+	for {
+		slot := vi.slots[idx]
+		if slot == 0 {
+			break
+		}
+		id := slot - 1
+		if vi.hashes[id] == h && viewsEqual(vi.views[id], v) {
+			return id
+		}
+		idx = (idx + 1) & vi.mask
+	}
+	id := int32(len(vi.views))
+	vi.views = append(vi.views, v.Clone())
+	vi.hashes = append(vi.hashes, h)
+	vi.slots[idx] = id + 1
+	if uint64(len(vi.views))*4 > (vi.mask+1)*3 {
+		vi.grow()
+	}
+	return id
+}
+
+func (vi *viewIntern) grow() {
+	vi.mask = (vi.mask+1)*2 - 1
+	vi.slots = make([]int32, vi.mask+1)
+	for id, h := range vi.hashes {
+		idx := h & vi.mask
+		for vi.slots[idx] != 0 {
+			idx = (idx + 1) & vi.mask
+		}
+		vi.slots[idx] = int32(id) + 1
+	}
+}
+
+// constraintIntern is a hash SET of sorted view-id lists, open-addressed
+// like viewIntern, with contents stored in one flat arena.
+type constraintIntern struct {
+	mask   uint64
+	slots  []int32 // constraint index + 1, 0 = empty
+	hashes []uint64
+	arena  []int32
+	offs   []int32 // constraint c = arena[offs[c]:offs[c+1]]
+}
+
+func newConstraintIntern() *constraintIntern {
+	const initial = 256
+	return &constraintIntern{
+		mask:  initial - 1,
+		slots: make([]int32, initial),
+		offs:  []int32{0},
+	}
+}
+
+func (ci *constraintIntern) get(c int32) []int32 {
+	return ci.arena[ci.offs[c]:ci.offs[c+1]]
+}
+
+// insert reports whether ids (sorted, unique) was absent, adding it if so.
+func (ci *constraintIntern) insert(ids []int32) bool {
+	h := bits.Hash64Seed()
+	for _, id := range ids {
+		h = bits.Hash64Mix(h, uint64(id))
+	}
+	idx := h & ci.mask
+	for {
+		slot := ci.slots[idx]
+		if slot == 0 {
+			break
+		}
+		c := slot - 1
+		if ci.hashes[c] == h && slices.Equal(ci.get(c), ids) {
+			return false
+		}
+		idx = (idx + 1) & ci.mask
+	}
+	c := int32(len(ci.offs) - 1)
+	ci.arena = append(ci.arena, ids...)
+	ci.offs = append(ci.offs, int32(len(ci.arena)))
+	ci.hashes = append(ci.hashes, h)
+	ci.slots[idx] = c + 1
+	if uint64(len(ci.hashes))*4 > (ci.mask+1)*3 {
+		ci.grow()
+	}
+	return true
+}
+
+func (ci *constraintIntern) grow() {
+	ci.mask = (ci.mask+1)*2 - 1
+	ci.slots = make([]int32, ci.mask+1)
+	for c, h := range ci.hashes {
+		idx := h & ci.mask
+		for ci.slots[idx] != 0 {
+			idx = (idx + 1) & ci.mask
+		}
+		ci.slots[idx] = int32(c) + 1
+	}
+}
+
+// sortDedupInt32 sorts ids in place (insertion sort; callers pass at most
+// one entry per process) and drops adjacent duplicates.
+func sortDedupInt32(ids []int32) []int32 {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // cspState is the forward-checking backtracking state of the decision-map
@@ -175,7 +344,7 @@ func SolveOneRound(roundGraphs []graph.Digraph, numValues, k, nodeBudget int) (S
 type cspState struct {
 	k         int
 	numValues int
-	execViews [][]int
+	execViews [][]int32
 	decided   []Value
 	domains   []uint16
 	counts    [][]int
@@ -231,13 +400,13 @@ func (s *cspState) assign(id int, d Value) bool {
 				if nd == s.domains[u] {
 					continue
 				}
-				s.trail = append(s.trail, trailEntry{view: u, oldDomain: s.domains[u]})
+				s.trail = append(s.trail, trailEntry{view: int(u), oldDomain: s.domains[u]})
 				s.domains[u] = nd
 				switch onesCount16(nd) {
 				case 0:
 					return false
 				case 1:
-					queue = append(queue, [2]int{u, trailingZeros16(nd)})
+					queue = append(queue, [2]int{int(u), trailingZeros16(nd)})
 				}
 			}
 		}
@@ -312,21 +481,3 @@ func (s *cspState) search(nodes *int, budget int) (bool, error) {
 func onesCount16(x uint16) int { return mathbits.OnesCount16(x) }
 
 func trailingZeros16(x uint16) int { return mathbits.TrailingZeros16(x) }
-
-func dedupInts(xs []int) []int {
-	out := xs[:0]
-	for i, x := range xs {
-		if i == 0 || x != xs[i-1] {
-			out = append(out, x)
-		}
-	}
-	return out
-}
-
-func constraintKey(ids []int) string {
-	b := make([]byte, 0, len(ids)*3)
-	for _, id := range ids {
-		b = append(b, byte(id), byte(id>>8), byte(id>>16), ',')
-	}
-	return string(b)
-}

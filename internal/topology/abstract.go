@@ -9,6 +9,7 @@ package topology
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -174,27 +175,32 @@ func (c *AbstractComplex) Simplexes(dim int) [][]int {
 		}
 		return [][]int{{}}
 	}
-	seen := make(map[string][]int)
 	size := dim + 1
 	buf := make([]int, size)
+	// Collect every size-subset of every facet into one flat arena, then
+	// sort-and-dedup. Facets sharing faces produce duplicates, but avoiding
+	// a keyed set keeps this allocation-light: one arena, one index sort.
+	var arena []int
 	for _, f := range c.facets {
 		if len(f) < size {
 			continue
 		}
 		combinationsOf(f, size, buf, 0, 0, func(s []int) {
-			key := simplexKey(s)
-			if _, ok := seen[key]; !ok {
-				cp := make([]int, size)
-				copy(cp, s)
-				seen[key] = cp
-			}
+			arena = append(arena, s...)
 		})
 	}
-	out := make([][]int, 0, len(seen))
-	for _, s := range seen {
-		out = append(out, s)
+	total := len(arena) / size
+	all := make([][]int, total)
+	for i := range all {
+		all[i] = arena[i*size : (i+1)*size : (i+1)*size]
 	}
-	sort.Slice(out, func(i, j int) bool { return lexLess(out[i], out[j]) })
+	sort.Slice(all, func(i, j int) bool { return lexLess(all[i], all[j]) })
+	out := all[:0]
+	for i, s := range all {
+		if i == 0 || !slices.Equal(s, out[len(out)-1]) {
+			out = append(out, s)
+		}
+	}
 	return out
 }
 

@@ -1,6 +1,11 @@
 package topology
 
-import "fmt"
+import (
+	"fmt"
+	mathbits "math/bits"
+	"slices"
+	"sort"
+)
 
 // ReducedBettiNumbers computes the reduced Betti numbers β̃_0 … β̃_maxDim of
 // the complex over the field GF(2).
@@ -22,19 +27,18 @@ func ReducedBettiNumbers(c *AbstractComplex, maxDim int) ([]int, error) {
 	if c.IsEmpty() {
 		return nil, fmt.Errorf("topology: reduced homology of the empty complex is undefined here")
 	}
+	if betti, ok := reducedBettiPacked(c, maxDim); ok {
+		return betti, nil
+	}
 
-	// simplexes[q] for q = 0..maxDim+1; indexes for boundary lookups.
+	// Generic fallback for complexes too large to bit-pack.
+	// simplexes[q] for q = 0..maxDim+1, each sorted lexicographically —
+	// boundary-face rows are found by binary search, no keyed index needed.
 	counts := make([]int, maxDim+2)
-	index := make([]map[string]int, maxDim+2)
 	simplexes := make([][][]int, maxDim+2)
 	for q := 0; q <= maxDim+1; q++ {
-		sx := c.Simplexes(q)
-		simplexes[q] = sx
-		counts[q] = len(sx)
-		index[q] = make(map[string]int, len(sx))
-		for i, s := range sx {
-			index[q][simplexKey(s)] = i
-		}
+		simplexes[q] = c.Simplexes(q)
+		counts[q] = len(simplexes[q])
 	}
 
 	// rank[q] = rank of ∂_q over GF(2).
@@ -42,7 +46,7 @@ func ReducedBettiNumbers(c *AbstractComplex, maxDim int) ([]int, error) {
 	rank := make([]int, maxDim+2)
 	rank[0] = 1
 	for q := 1; q <= maxDim+1; q++ {
-		rank[q] = boundaryRank(simplexes[q], index[q-1], counts[q-1])
+		rank[q] = boundaryRank(simplexes[q], simplexes[q-1])
 	}
 
 	betti := make([]int, maxDim+1)
@@ -53,16 +57,145 @@ func ReducedBettiNumbers(c *AbstractComplex, maxDim int) ([]int, error) {
 	return betti, nil
 }
 
+// packWidth returns the bit width that packs simplexes of up to maxSize
+// vertices from a numVertices universe into one uint64 (vertex fields from
+// the most significant bits down, so numeric key order is lexicographic
+// vertex order), or 0 when they don't fit.
+func packWidth(numVertices, maxSize int) int {
+	for _, w := range []int{8, 16, 32} {
+		if maxSize <= 64/w && numVertices <= 1<<w {
+			return w
+		}
+	}
+	return 0
+}
+
+// reducedBettiPacked is ReducedBettiNumbers for complexes whose simplexes
+// fit in one uint64: levels are sorted []uint64, faces are field surgery,
+// and row lookup is a binary search over machine words.
+func reducedBettiPacked(c *AbstractComplex, maxDim int) ([]int, bool) {
+	width := packWidth(c.numVertices, maxDim+2)
+	if width == 0 {
+		return nil, false
+	}
+	levels := make([][]uint64, maxDim+2)
+	for q := 0; q <= maxDim+1; q++ {
+		levels[q] = packedSimplexes(c, q+1, width)
+	}
+	rank := make([]int, maxDim+2)
+	rank[0] = 1
+	for q := 1; q <= maxDim+1; q++ {
+		rank[q] = packedBoundaryRank(levels[q], q+1, levels[q-1], width)
+	}
+	betti := make([]int, maxDim+1)
+	for q := 0; q <= maxDim; q++ {
+		kernel := len(levels[q]) - rank[q]
+		betti[q] = kernel - rank[q+1]
+	}
+	return betti, true
+}
+
+// packedSimplexes returns the distinct size-vertex simplexes of c as sorted
+// packed keys.
+func packedSimplexes(c *AbstractComplex, size, width int) []uint64 {
+	var keys []uint64
+	buf := make([]int, size)
+	for _, f := range c.facets {
+		if len(f) < size {
+			continue
+		}
+		combinationsOf(f, size, buf, 0, 0, func(s []int) {
+			var key uint64
+			for i, v := range s {
+				key |= uint64(v) << uint(64-width*(i+1))
+			}
+			keys = append(keys, key)
+		})
+	}
+	slices.Sort(keys)
+	return slices.Compact(keys)
+}
+
+// packedBoundaryRank is boundaryRank over packed levels: the face omitting
+// field i keeps the fields above it and shifts the fields below it up.
+func packedBoundaryRank(colKeys []uint64, size int, rowKeys []uint64, width int) int {
+	numRows := len(rowKeys)
+	if len(colKeys) == 0 || numRows == 0 {
+		return 0
+	}
+	words := (numRows + 63) / 64
+	pivots := make([][]uint64, numRows)
+	rank := 0
+	col := make([]uint64, words)
+	for _, key := range colKeys {
+		for i := range col {
+			col[i] = 0
+		}
+		for omit := 0; omit < size; omit++ {
+			hiShift := uint(64 - width*omit) // ≥ 64 for omit = 0: shifts to zero
+			hi := key >> hiShift << hiShift
+			lo := key & (1<<uint(64-width*(omit+1)) - 1)
+			face := hi | lo<<uint(width)
+			if r, ok := slices.BinarySearch(rowKeys, face); ok {
+				col[r/64] ^= 1 << uint(r%64)
+			}
+		}
+		if addPivotColumn(pivots, col) {
+			rank++
+		}
+	}
+	return rank
+}
+
+// addPivotColumn reduces col against the dense pivot table and installs it
+// as a new pivot when it does not vanish, reporting whether rank grew. col
+// is clobbered.
+func addPivotColumn(pivots [][]uint64, col []uint64) bool {
+	for {
+		low := lowestBit(col)
+		if low < 0 {
+			return false
+		}
+		p := pivots[low]
+		if p == nil {
+			cp := make([]uint64, len(col))
+			copy(cp, col)
+			pivots[low] = cp
+			return true
+		}
+		for i := range col {
+			col[i] ^= p[i]
+		}
+	}
+}
+
+// faceIndex returns the position of face in rows (sorted lexicographically,
+// as returned by Simplexes), or -1 if absent.
+func faceIndex(rows [][]int, face []int) int {
+	i := sort.Search(len(rows), func(i int) bool { return !lexLess(rows[i], face) })
+	if i == len(rows) || len(rows[i]) != len(face) {
+		return -1
+	}
+	for j, v := range rows[i] {
+		if v != face[j] {
+			return -1
+		}
+	}
+	return i
+}
+
 // boundaryRank computes the GF(2) rank of the boundary matrix whose columns
-// are the given q-simplexes and whose rows are (q-1)-simplexes, using
-// column-reduction with bit-packed columns.
-func boundaryRank(cols [][]int, rowIndex map[string]int, numRows int) int {
+// are the given q-simplexes and whose rows are the (q-1)-simplexes, by
+// column-reduction with bit-packed columns. The pivot table is a dense slice
+// indexed by pivot row — pivots[r] is the reduced column whose lowest set
+// bit is row r, nil when no column pivots there.
+func boundaryRank(cols, rows [][]int) int {
+	numRows := len(rows)
 	if len(cols) == 0 || numRows == 0 {
 		return 0
 	}
 	words := (numRows + 63) / 64
-	// pivots[r] = column (bit vector) whose lowest set bit is row r.
-	pivots := make(map[int][]uint64, numRows)
+	pivots := make([][]uint64, numRows)
 	rank := 0
 	face := make([]int, 0, 16)
 	col := make([]uint64, words)
@@ -78,31 +211,14 @@ func boundaryRank(cols [][]int, rowIndex map[string]int, numRows int) int {
 					face = append(face, v)
 				}
 			}
-			r, ok := rowIndex[simplexKey(face)]
-			if !ok {
-				// Every face of a simplex of the complex is in the complex;
-				// missing index would be an internal inconsistency.
-				continue
+			// Every face of a simplex of the complex is in the complex, so
+			// the lookup only misses on internal inconsistency.
+			if r := faceIndex(rows, face); r >= 0 {
+				col[r/64] ^= 1 << uint(r%64)
 			}
-			col[r/64] ^= 1 << uint(r%64)
 		}
-		// Reduce against existing pivots.
-		for {
-			low := lowestBit(col)
-			if low < 0 {
-				break
-			}
-			p, ok := pivots[low]
-			if !ok {
-				cp := make([]uint64, words)
-				copy(cp, col)
-				pivots[low] = cp
-				rank++
-				break
-			}
-			for i := range col {
-				col[i] ^= p[i]
-			}
+		if addPivotColumn(pivots, col) {
+			rank++
 		}
 	}
 	return rank
@@ -111,12 +227,7 @@ func boundaryRank(cols [][]int, rowIndex map[string]int, numRows int) int {
 func lowestBit(v []uint64) int {
 	for i, w := range v {
 		if w != 0 {
-			b := 0
-			for w&1 == 0 {
-				w >>= 1
-				b++
-			}
-			return i*64 + b
+			return i*64 + mathbits.TrailingZeros64(w)
 		}
 	}
 	return -1

@@ -73,16 +73,10 @@ func IntegerHomologyGroups(c *AbstractComplex, maxDim int) (*IntegerHomology, er
 		return nil, fmt.Errorf("topology: integral homology of the empty complex is undefined here")
 	}
 	counts := make([]int, maxDim+2)
-	index := make([]map[string]int, maxDim+2)
 	simplexes := make([][][]int, maxDim+2)
 	for q := 0; q <= maxDim+1; q++ {
-		sx := c.Simplexes(q)
-		simplexes[q] = sx
-		counts[q] = len(sx)
-		index[q] = make(map[string]int, len(sx))
-		for i, s := range sx {
-			index[q][simplexKey(s)] = i
-		}
+		simplexes[q] = c.Simplexes(q)
+		counts[q] = len(simplexes[q])
 	}
 
 	// divisors[q] = nonzero Smith divisors of ∂_q; rank = len(divisors).
@@ -92,7 +86,7 @@ func IntegerHomologyGroups(c *AbstractComplex, maxDim int) (*IntegerHomology, er
 		divisors[0] = []int64{1} // augmentation has rank 1
 	}
 	for q := 1; q <= maxDim+1; q++ {
-		mat := orientedBoundary(simplexes[q], index[q-1], counts[q-1])
+		mat := orientedBoundary(simplexes[q], simplexes[q-1])
 		d, err := smithDivisors(mat)
 		if err != nil {
 			return nil, err
@@ -121,9 +115,10 @@ func IntegerHomologyGroups(c *AbstractComplex, maxDim int) (*IntegerHomology, er
 }
 
 // orientedBoundary builds ∂_q as a dense row-major int64 matrix
-// (rows = (q-1)-simplexes, columns = q-simplexes) with alternating signs.
-func orientedBoundary(cols [][]int, rowIndex map[string]int, numRows int) [][]int64 {
-	mat := make([][]int64, numRows)
+// (rows = (q-1)-simplexes sorted lexicographically, columns = q-simplexes)
+// with alternating signs.
+func orientedBoundary(cols, rows [][]int) [][]int64 {
+	mat := make([][]int64, len(rows))
 	for i := range mat {
 		mat[i] = make([]int64, len(cols))
 	}
@@ -137,7 +132,7 @@ func orientedBoundary(cols [][]int, rowIndex map[string]int, numRows int) [][]in
 					face = append(face, v)
 				}
 			}
-			if r, ok := rowIndex[simplexKey(face)]; ok {
+			if r := faceIndex(rows, face); r >= 0 {
 				mat[r][j] += sign
 			}
 			sign = -sign

@@ -1,0 +1,95 @@
+package ksettop
+
+import (
+	"sync"
+	"testing"
+
+	"ksettop/internal/combinat"
+	"ksettop/internal/graph"
+	"ksettop/internal/model"
+	"ksettop/internal/protocol"
+)
+
+// TestConcurrentSweepsRaceFree hammers the sharded engine from several
+// client goroutines at once: DistributedDominationNumber (par fan-out over
+// combination shards) concurrently with SolveOneRound (hash-interned view
+// build) and SymClosure (sharded permutation sweep). Run under -race (the CI
+// does) this pins the engine's only shared state to its atomics; it also
+// checks every result against the single-client answer.
+func TestConcurrentSweepsRaceFree(t *testing.T) {
+	m, err := model.UnionOfStarsModel(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens := m.Generators()
+	wantGamma, err := combinat.DistributedDominationNumber(gens)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	solver, err := model.NonEmptyKernelModel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []graph.Digraph
+	if err := solver.EnumerateGraphs(func(g graph.Digraph) bool {
+		all = append(all, g)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	stars, err := graph.UnionOfStars(7, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*3)
+	for c := 0; c < clients; c++ {
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				got, err := combinat.DistributedDominationNumber(gens)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got != wantGamma {
+					t.Errorf("concurrent γ_dist = %d, want %d", got, wantGamma)
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				res, err := protocol.SolveOneRound(all, 3, 2, 50_000_000)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Solvable {
+					t.Error("concurrent solver found a decision map; want impossibility")
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			closure, err := graph.SymClosure([]graph.Digraph{stars})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(closure) != 21 {
+				t.Errorf("concurrent SymClosure has %d graphs, want 21", len(closure))
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
