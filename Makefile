@@ -1,9 +1,9 @@
 GO ?= go
 # Benchmark snapshot index: bump per PR so the perf trajectory accumulates
 # (BENCH_1.json, BENCH_2.json, …).
-BENCH_N ?= 1
+BENCH_N ?= 2
 
-.PHONY: all build test vet race bench benchjson experiments clean
+.PHONY: all build test vet race bench benchjson benchcheck experiments clean
 
 all: build test vet
 
@@ -27,6 +27,11 @@ bench:
 # Record the machine-readable perf snapshot for this PR.
 benchjson:
 	$(GO) run ./cmd/ksetbench -out BENCH_$(BENCH_N).json
+
+# Re-measure and fail when any tracked benchmark regresses >25% against the
+# committed snapshot (the CI regression gate, runnable locally).
+benchcheck:
+	$(GO) run ./cmd/ksetbench -out BENCH_ci.json -against BENCH_$(BENCH_N).json
 
 experiments:
 	$(GO) run ./cmd/ksetexperiments

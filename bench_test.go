@@ -4,9 +4,11 @@ import (
 	"strings"
 	"testing"
 
+	"ksettop/internal/bits"
 	"ksettop/internal/combinat"
 	"ksettop/internal/experiments"
 	"ksettop/internal/graph"
+	"ksettop/internal/memo"
 	"ksettop/internal/model"
 	"ksettop/internal/protocol"
 	"ksettop/internal/topology"
@@ -53,6 +55,7 @@ func BenchmarkE10StarUnions(b *testing.B)                { benchExperiment(b, "E
 func BenchmarkE11UninterpretedConnectivity(b *testing.B) { benchExperiment(b, "E11") }
 func BenchmarkE12MultiRound(b *testing.B)                { benchExperiment(b, "E12") }
 func BenchmarkE13TournamentGap(b *testing.B)             { benchExperiment(b, "E13") }
+func BenchmarkE14StarUnions7(b *testing.B)               { benchExperiment(b, "E14") }
 
 // Micro-benchmarks for the core computations the experiments are built on.
 
@@ -126,15 +129,62 @@ func BenchmarkGraphProductPower(b *testing.B) {
 }
 
 func BenchmarkSymClosure(b *testing.B) {
+	// Memoization off: this tracks the n! sweep itself, not the cache (see
+	// BenchmarkModelConstructionMemo for the cached path).
 	g, err := graph.UnionOfStars(6, []int{0, 1})
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer memo.SetEnabled(memo.Enabled())
+	memo.SetEnabled(false)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		closure, err := graph.SymClosure([]graph.Digraph{g})
 		if err != nil || len(closure) != 15 {
 			b.Fatalf("closure %d graphs, err %v", len(closure), err)
+		}
+	}
+}
+
+func BenchmarkEnumerateClosure(b *testing.B) {
+	// Mask-level streaming sweep of the n=5 star closure (5·2^16 ranks).
+	m, err := model.NonEmptyKernelModel(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := m.Enumeration()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		e.RangeMasks(0, e.Size(), func(bits.Words) bool {
+			count++
+			return true
+		})
+		if count == 0 {
+			b.Fatal("empty enumeration")
+		}
+	}
+}
+
+func BenchmarkModelConstructionMemo(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.UnionOfStarsModel(6, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModelConstructionCold(b *testing.B) {
+	defer memo.SetEnabled(memo.Enabled())
+	memo.SetEnabled(false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.UnionOfStarsModel(6, 2); err != nil {
+			b.Fatal(err)
 		}
 	}
 }
@@ -222,16 +272,33 @@ func BenchmarkDecisionMapSolver(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	var all []graph.Digraph
-	if err := m.EnumerateGraphs(func(g graph.Digraph) bool {
-		all = append(all, g)
-		return true
-	}); err != nil {
+	all, err := m.AllGraphs()
+	if err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := protocol.SolveOneRound(all, 3, 2, 50_000_000)
+		if err != nil || res.Solvable {
+			b.Fatalf("solvable=%v err=%v, want impossibility", res.Solvable, err)
+		}
+	}
+}
+
+func BenchmarkSolveOneRoundClosure(b *testing.B) {
+	// The n=4 star-closure impossibility (1695 graphs × 256 assignments):
+	// the sharded assignments × lists sweep plus the flat search tables.
+	m, err := model.NonEmptyKernelModel(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	all, err := m.AllGraphs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := protocol.SolveOneRound(all, 4, 3, 50_000_000)
 		if err != nil || res.Solvable {
 			b.Fatalf("solvable=%v err=%v, want impossibility", res.Solvable, err)
 		}

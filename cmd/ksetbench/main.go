@@ -8,6 +8,10 @@
 //	ksetbench                       # writes BENCH_1.json
 //	ksetbench -out BENCH_7.json     # explicit snapshot name
 //	ksetbench -parallelism 8        # pin the worker-pool size
+//	ksetbench -out BENCH_ci.json -against BENCH_2.json
+//	                                # also fail when any benchmark shared
+//	                                # with the committed snapshot regresses
+//	                                # more than -regress (default 25%)
 package main
 
 import (
@@ -16,12 +20,16 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
+	"ksettop/internal/bits"
+	"ksettop/internal/cli"
 	"ksettop/internal/combinat"
 	"ksettop/internal/experiments"
 	"ksettop/internal/graph"
+	"ksettop/internal/memo"
 	"ksettop/internal/model"
 	"ksettop/internal/par"
 	"ksettop/internal/protocol"
@@ -56,8 +64,14 @@ func main() {
 func run() error {
 	out := flag.String("out", "BENCH_1.json", "output JSON path")
 	parallelism := flag.Int("parallelism", 0, "worker-pool size (0 = KSETTOP_PARALLELISM or GOMAXPROCS)")
+	memoFlag := flag.String("memo", "on", cli.MemoFlagUsage)
+	against := flag.String("against", "", "previous snapshot to compare against (fails on regression)")
+	regress := flag.Float64("regress", 0.25, "allowed fractional ns/op regression vs -against")
 	flag.Parse()
 	par.SetParallelism(*parallelism)
+	if err := cli.ApplyMemoFlag(*memoFlag); err != nil {
+		return err
+	}
 
 	snap := snapshot{
 		Timestamp:   time.Now().UTC().Format(time.RFC3339),
@@ -89,6 +103,84 @@ func run() error {
 		return err
 	}
 	fmt.Println("wrote", *out)
+
+	if *against != "" {
+		return compareAgainst(snap, *against, *regress)
+	}
+	return nil
+}
+
+// compareAgainst fails when any benchmark present in both snapshots got more
+// than the allowed fraction slower — the CI regression gate for the
+// perf-trajectory snapshots committed per PR. The baseline snapshot may be
+// recorded on a different machine, so with ≥ 5 shared benchmarks every
+// ratio is normalized by the suite-median slowdown (floored at 1, see
+// below): a uniformly slower runner cancels out and only benchmarks that
+// regressed relative to the rest of the suite trip the gate. New and
+// removed benchmarks only inform.
+func compareAgainst(snap snapshot, path string, allowed float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base snapshot
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	baseNs := make(map[string]float64, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseNs[b.Name] = b.NsPerOp
+	}
+	type comparison struct {
+		name  string
+		prev  float64
+		now   float64
+		ratio float64
+	}
+	var shared []comparison
+	for _, b := range snap.Benchmarks {
+		prev, ok := baseNs[b.Name]
+		if !ok || prev <= 0 {
+			fmt.Printf("  %-24s new benchmark, no baseline\n", b.Name)
+			continue
+		}
+		shared = append(shared, comparison{b.Name, prev, b.NsPerOp, b.NsPerOp / prev})
+	}
+	// speed is the suite-median ratio, floored at 1: a uniformly SLOWER
+	// machine (CI runner vs the box that recorded the baseline) is divided
+	// out, while a uniformly faster machine — or a broad-improvement PR —
+	// never inflates unchanged benchmarks into false regressions. The dual
+	// limitation is explicit: a regression uniform across the whole suite is
+	// indistinguishable from slow hardware and passes; the committed
+	// BENCH_<n>.json trajectory still records it in absolute terms.
+	speed := 1.0
+	if len(shared) >= 5 {
+		ratios := make([]float64, len(shared))
+		for i, c := range shared {
+			ratios[i] = c.ratio
+		}
+		sort.Float64s(ratios)
+		if med := ratios[len(ratios)/2]; med > 1 {
+			speed = med
+		}
+	}
+	fmt.Printf("\nregression check vs %s (threshold +%.0f%%, machine factor %.2fx):\n",
+		path, allowed*100, speed)
+	var failures []string
+	for _, c := range shared {
+		normalized := c.ratio / speed
+		verdict := "ok"
+		if normalized > 1+allowed {
+			verdict = "REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s %.2fx", c.name, normalized))
+		}
+		fmt.Printf("  %-24s %.2fx normalized (%.0f → %.0f ns/op) %s\n",
+			c.name, normalized, c.prev, c.now, verdict)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% relative to the suite median: %v",
+			len(failures), allowed*100, failures)
+	}
 	return nil
 }
 
@@ -141,10 +233,13 @@ func benches() []bench {
 			}
 		}},
 		{"SymClosure", func(b *testing.B) {
+			// Memoization off: this tracks the n! sweep itself, not the cache.
 			g, err := graph.UnionOfStars(6, []int{0, 1})
 			if err != nil {
 				b.Fatal(err)
 			}
+			defer memo.SetEnabled(memo.Enabled())
+			memo.SetEnabled(false)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				closure, err := graph.SymClosure([]graph.Digraph{g})
@@ -178,11 +273,8 @@ func benches() []bench {
 			if err != nil {
 				b.Fatal(err)
 			}
-			var all []graph.Digraph
-			if err := m.EnumerateGraphs(func(g graph.Digraph) bool {
-				all = append(all, g)
-				return true
-			}); err != nil {
+			all, err := m.AllGraphs()
+			if err != nil {
 				b.Fatal(err)
 			}
 			b.ReportAllocs()
@@ -193,10 +285,88 @@ func benches() []bench {
 				}
 			}
 		}},
+		{"SolveOneRoundClosure", func(b *testing.B) {
+			// The n=4 star-closure impossibility: 1695 graphs × 256
+			// assignments. The constraint sweep shards across the worker
+			// pool; the PR-2 list dedup and flat tables carry the
+			// single-core path.
+			m, err := model.NonEmptyKernelModel(4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			all, err := m.AllGraphs()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := protocol.SolveOneRound(all, 4, 3, 50_000_000)
+				if err != nil || res.Solvable {
+					b.Fatalf("solvable=%v err=%v, want impossibility", res.Solvable, err)
+				}
+			}
+		}},
+		{"EnumerateClosure", func(b *testing.B) {
+			// Mask-level streaming sweep of the n=5 star closure (5·2^16
+			// ranks): the fast path behind GraphCount and the sharded
+			// collectors, no Digraph materialization.
+			m, err := model.NonEmptyKernelModel(5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e, err := m.Enumeration()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				count := 0
+				e.RangeMasks(0, e.Size(), func(bits.Words) bool {
+					count++
+					return true
+				})
+				_ = count
+			}
+		}},
+		{"ModelConstructionMemo", func(b *testing.B) {
+			// Repeat model construction through the canonical-key cache.
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := model.UnionOfStarsModel(6, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"ModelConstructionCold", func(b *testing.B) {
+			// The same construction with the cache disabled: the cold
+			// baseline the memo column is measured against.
+			defer memo.SetEnabled(memo.Enabled())
+			memo.SetEnabled(false)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := model.UnionOfStarsModel(6, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{"E10StarUnions", func(b *testing.B) {
 			var runner experiments.Runner
 			for _, r := range experiments.All() {
 				if r.ID == "E10" {
+					runner = r
+				}
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := runner.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"E14StarUnions7", func(b *testing.B) {
+			var runner experiments.Runner
+			for _, r := range experiments.All() {
+				if r.ID == "E14" {
 					runner = r
 				}
 			}

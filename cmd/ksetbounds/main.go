@@ -33,8 +33,12 @@ func run() error {
 	rounds := flag.Int("rounds", 1, "analyze rounds 1..r")
 	verify := flag.Bool("verify", false, "re-check the one-round bounds mechanically")
 	parallelism := flag.Int("parallelism", 0, "worker-pool size (0 = KSETTOP_PARALLELISM or GOMAXPROCS)")
+	memoFlag := flag.String("memo", "on", cli.MemoFlagUsage)
 	flag.Parse()
 	par.SetParallelism(*parallelism)
+	if err := cli.ApplyMemoFlag(*memoFlag); err != nil {
+		return err
+	}
 
 	m, err := cli.ParseModel(*spec)
 	if err != nil {

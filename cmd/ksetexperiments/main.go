@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"ksettop/internal/cli"
 	"ksettop/internal/experiments"
 	"ksettop/internal/par"
 )
@@ -35,8 +36,12 @@ func main() {
 func run() error {
 	only := flag.String("only", "", "comma-separated experiment IDs (default all)")
 	parallelism := flag.Int("parallelism", 0, "worker-pool size (0 = KSETTOP_PARALLELISM or GOMAXPROCS)")
+	memoFlag := flag.String("memo", "on", cli.MemoFlagUsage)
 	flag.Parse()
 	par.SetParallelism(*parallelism)
+	if err := cli.ApplyMemoFlag(*memoFlag); err != nil {
+		return err
+	}
 
 	want := map[string]bool{}
 	if *only != "" {

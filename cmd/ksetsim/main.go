@@ -39,8 +39,12 @@ func run() error {
 	seed := flag.Int64("seed", 1, "random seed for -mode random")
 	limit := flag.Int("limit", 4_000_000, "execution budget for -mode worst")
 	parallelism := flag.Int("parallelism", 0, "worker-pool size (0 = KSETTOP_PARALLELISM or GOMAXPROCS)")
+	memoFlag := flag.String("memo", "on", cli.MemoFlagUsage)
 	flag.Parse()
 	par.SetParallelism(*parallelism)
+	if err := cli.ApplyMemoFlag(*memoFlag); err != nil {
+		return err
+	}
 
 	m, err := cli.ParseModel(*spec)
 	if err != nil {

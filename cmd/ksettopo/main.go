@@ -32,8 +32,12 @@ func run() error {
 	values := flag.Int("values", 2, "input values for the protocol complex")
 	maxDim := flag.Int("maxdim", -1, "homology dimension cap (default n−2)")
 	parallelism := flag.Int("parallelism", 0, "worker-pool size (0 = KSETTOP_PARALLELISM or GOMAXPROCS)")
+	memoFlag := flag.String("memo", "on", cli.MemoFlagUsage)
 	flag.Parse()
 	par.SetParallelism(*parallelism)
+	if err := cli.ApplyMemoFlag(*memoFlag); err != nil {
+		return err
+	}
 
 	m, err := cli.ParseModel(*spec)
 	if err != nil {

@@ -1,0 +1,77 @@
+package bits
+
+import "math/bits"
+
+// Words is a fixed-width bitset over an arbitrary universe, stored as packed
+// 64-bit words. It backs the model-closure enumeration for edge universes
+// larger than one machine word (n > 8 processes have n² > 64 edge slots),
+// where Set no longer fits.
+//
+// All binary operations require operands of equal length; the enumeration
+// code allocates every Words for a model from the same word count.
+type Words []uint64
+
+// NewWords returns an empty bitset able to hold nbits bits.
+func NewWords(nbits int) Words {
+	if nbits <= 0 {
+		return Words{}
+	}
+	return make(Words, (nbits+63)/64)
+}
+
+// CopyFrom overwrites w with src (equal length).
+func (w Words) CopyFrom(src Words) {
+	copy(w, src)
+}
+
+// Has reports whether bit i is set.
+func (w Words) Has(i int) bool {
+	return w[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// SetBit sets bit i.
+func (w Words) SetBit(i int) {
+	w[i>>6] |= 1 << uint(i&63)
+}
+
+// Clear zeroes every bit.
+func (w Words) Clear() {
+	for i := range w {
+		w[i] = 0
+	}
+}
+
+// OrInto sets w to w ∪ x.
+func (w Words) OrInto(x Words) {
+	for i, v := range x {
+		w[i] |= v
+	}
+}
+
+// ContainsAll reports whether x ⊆ w.
+func (w Words) ContainsAll(x Words) bool {
+	for i, v := range x {
+		if v&^w[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// OnesCount returns the number of set bits.
+func (w Words) OnesCount() int {
+	total := 0
+	for _, v := range w {
+		total += bits.OnesCount64(v)
+	}
+	return total
+}
+
+// ForEachBit calls f on every set bit index in increasing order.
+func (w Words) ForEachBit(f func(i int)) {
+	for wi, v := range w {
+		for t := v; t != 0; t &= t - 1 {
+			f(wi<<6 + bits.TrailingZeros64(t))
+		}
+	}
+}

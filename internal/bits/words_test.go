@@ -1,0 +1,66 @@
+package bits
+
+import "testing"
+
+func positions(w Words) []int {
+	var out []int
+	w.ForEachBit(func(i int) { out = append(out, i) })
+	return out
+}
+
+func TestWordsBasics(t *testing.T) {
+	w := NewWords(130)
+	if len(w) != 3 {
+		t.Fatalf("NewWords(130) has %d words, want 3", len(w))
+	}
+	for _, i := range []int{0, 63, 64, 129} {
+		if w.Has(i) {
+			t.Fatalf("fresh bitset has bit %d", i)
+		}
+		w.SetBit(i)
+		if !w.Has(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if got := w.OnesCount(); got != 4 {
+		t.Fatalf("OnesCount = %d, want 4", got)
+	}
+	want := []int{0, 63, 64, 129}
+	got := positions(w)
+	if len(got) != len(want) {
+		t.Fatalf("set bits = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("set bits = %v, want %v", got, want)
+		}
+	}
+	w.Clear()
+	if w.OnesCount() != 0 {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestWordsSetOps(t *testing.T) {
+	a, b := NewWords(100), NewWords(100)
+	a.SetBit(1)
+	a.SetBit(70)
+	b.SetBit(70)
+	b.SetBit(99)
+
+	u := NewWords(100)
+	u.CopyFrom(a)
+	u.OrInto(b)
+	if !u.Has(1) || !u.Has(70) || !u.Has(99) || u.OnesCount() != 3 {
+		t.Fatalf("union wrong: %v", positions(u))
+	}
+	if !u.ContainsAll(a) || !u.ContainsAll(b) || a.ContainsAll(b) {
+		t.Fatal("ContainsAll wrong")
+	}
+
+	c := NewWords(100)
+	c.CopyFrom(a)
+	if c.OnesCount() != 2 || !c.Has(1) || !c.Has(70) {
+		t.Fatal("CopyFrom wrong")
+	}
+}

@@ -251,12 +251,12 @@ func VerifyUninterpretedConnectivity(m *model.ClosedAbove) error {
 	return nil
 }
 
+// allModelGraphs materializes the model closure through the sharded
+// streaming enumeration (rank order, so the slice is identical across
+// parallelism settings).
 func allModelGraphs(m *model.ClosedAbove) ([]graph.Digraph, error) {
-	var all []graph.Digraph
-	if err := m.EnumerateGraphs(func(g graph.Digraph) bool {
-		all = append(all, g)
-		return true
-	}); err != nil {
+	all, err := m.AllGraphs()
+	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	return all, nil

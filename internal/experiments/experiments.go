@@ -146,6 +146,7 @@ func All() []Runner {
 		{"E11", E11UninterpretedConnectivity},
 		{"E12", E12MultiRound},
 		{"E13", E13TournamentGap},
+		{"E14", E14StarUnions7},
 	}
 }
 

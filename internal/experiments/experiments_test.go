@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
+	"ksettop/internal/memo"
 	"ksettop/internal/par"
 )
 
@@ -49,13 +51,14 @@ func TestTableRender(t *testing.T) {
 }
 
 // TestRunAllDeterministicAcrossParallelism renders a fast experiment subset
-// under several worker counts and requires byte-identical tables — the
-// determinism guarantee of the sharded engine, end to end.
+// under several worker counts and memo settings and requires byte-identical
+// tables — the determinism guarantee of the sharded engine and the cache
+// layer, end to end.
 func TestRunAllDeterministicAcrossParallelism(t *testing.T) {
 	var subset []Runner
 	for _, r := range All() {
 		switch r.ID {
-		case "E7", "E9", "E10", "E11":
+		case "E7", "E9", "E10", "E11", "E14":
 			subset = append(subset, r)
 		}
 	}
@@ -70,14 +73,49 @@ func TestRunAllDeterministicAcrossParallelism(t *testing.T) {
 		return out
 	}
 	par.SetParallelism(1)
-	want := render()
+	memo.SetEnabled(false)
+	want := render() // cold baseline: no sharding, no caching
+	memo.SetEnabled(true)
 	par.SetParallelism(0)
+	defer memo.SetEnabled(true)
 	for _, workers := range []int{2, 8} {
-		par.SetParallelism(workers)
-		got := render()
-		par.SetParallelism(0)
-		if got != want {
-			t.Errorf("workers=%d: tables differ from sequential run:\n--- got ---\n%s\n--- want ---\n%s", workers, got, want)
+		for _, memoOn := range []bool{true, false} {
+			par.SetParallelism(workers)
+			memo.SetEnabled(memoOn)
+			got := render()
+			par.SetParallelism(0)
+			memo.SetEnabled(true)
+			if got != want {
+				t.Errorf("workers=%d memo=%v: tables differ from sequential cold run:\n--- got ---\n%s\n--- want ---\n%s",
+					workers, memoOn, got, want)
+			}
+		}
+	}
+}
+
+// TestE14GoldenTable pins the n = 7 star-union sweep cell by cell: the
+// closed-form bounds, the generic-engine agreement, and the streaming-
+// enumeration closure counts must reproduce exactly.
+func TestE14GoldenTable(t *testing.T) {
+	table, err := E14StarUnions7()
+	if err != nil {
+		t.Fatalf("E14: %v", err)
+	}
+	golden := [][]string{
+		{"7", "1", "7", "7", "6-set", "7-set", "ok", "ok", "skipped (budget)"},
+		{"7", "2", "21", "6", "5-set", "6-set", "ok", "ok", "skipped (budget)"},
+		{"7", "3", "35", "5", "4-set", "5-set", "ok", "ok", "skipped (budget)"},
+		{"7", "4", "35", "4", "3-set", "4-set", "ok", "ok", "skipped (budget)"},
+		{"7", "5", "21", "3", "2-set", "3-set", "ok", "ok", "83791 (ok)"},
+		{"7", "6", "7", "2", "1-set", "2-set", "ok", "ok", "442 (ok)"},
+		{"7", "7", "1", "1", "0-set", "1-set", "ok", "ok", "1 (ok)"},
+	}
+	if len(table.Rows) != len(golden) {
+		t.Fatalf("E14 has %d rows, want %d:\n%s", len(table.Rows), len(golden), table.Render())
+	}
+	for i, want := range golden {
+		if got := fmt.Sprint(table.Rows[i]); got != fmt.Sprint(want) {
+			t.Errorf("E14 row %d = %v, want %v", i, table.Rows[i], want)
 		}
 	}
 }

@@ -51,6 +51,29 @@ func MustNew(n int) Digraph {
 	return g
 }
 
+// FromRows builds the graph whose adjacency rows are rows (row u = Out(u)),
+// forcing the mandatory self-loops. The rows are copied; members outside
+// [0, n) are an error. This is the bulk constructor behind the streaming
+// closure enumeration, which assembles whole rows instead of adding edges
+// one at a time.
+func FromRows(n int, rows []bits.Set) (Digraph, error) {
+	if n < 1 || n > MaxProcs {
+		return Digraph{}, fmt.Errorf("graph: process count %d outside [1,%d]", n, MaxProcs)
+	}
+	if len(rows) != n {
+		return Digraph{}, fmt.Errorf("graph: %d rows for %d processes", len(rows), n)
+	}
+	full := bits.Full(n)
+	out := make([]bits.Set, n)
+	for u, row := range rows {
+		if !full.ContainsAll(row) {
+			return Digraph{}, fmt.Errorf("graph: row %d = %v outside process range", u, row)
+		}
+		out[u] = row.With(u)
+	}
+	return Digraph{n: n, out: out}, nil
+}
+
 // N returns the number of processes.
 func (g Digraph) N() int { return g.n }
 

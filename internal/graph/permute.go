@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"ksettop/internal/bits"
+	"ksettop/internal/memo"
 	"ksettop/internal/par"
 )
 
@@ -217,12 +218,30 @@ func (s *digraphSet) graphs() []Digraph {
 	return out
 }
 
+// symCache memoizes SymClosure per canonical (sorted-key) generator set:
+// every model constructor and symmetry check recomputes the n! orbit sweep
+// otherwise. Cached slices are shared read-only — callers must not mutate
+// the returned generators (the repository-wide convention for generator
+// slices).
+var symCache = memo.NewCache[[]Digraph](256)
+
+// symKey is the canonical cache key of a generator set for a given
+// computation kind.
+func symKey(kind string, n int, gens []Digraph) string {
+	keys := make([]string, len(gens))
+	for i, g := range gens {
+		keys[i] = g.Key()
+	}
+	return memo.Key(kind, n, keys)
+}
+
 // SymClosure returns Sym(S) = {π(G) | G ∈ S, π a permutation} (Def 2.4),
 // deduplicated and sorted by canonical key. The n! permutation sweep is
 // sharded across the par worker pool; each worker deduplicates locally and
 // the shard sets are merged afterwards, so the (sorted) result is
 // deterministic regardless of scheduling. Exponential in n; intended for the
-// small process counts the paper's examples use.
+// small process counts the paper's examples use. Results are memoized per
+// canonical generator-set key.
 func SymClosure(gens []Digraph) ([]Digraph, error) {
 	if len(gens) == 0 {
 		return nil, fmt.Errorf("graph: symmetric closure of empty generator list")
@@ -233,6 +252,12 @@ func SymClosure(gens []Digraph) ([]Digraph, error) {
 			return nil, fmt.Errorf("graph: mixed sizes %d and %d in generator list", n, g.n)
 		}
 	}
+	return symCache.Do(symKey("sym", n, gens), func() ([]Digraph, error) {
+		return symClosure(n, gens)
+	})
+}
+
+func symClosure(n int, gens []Digraph) ([]Digraph, error) {
 	total := Factorial(n)
 	if total < 0 {
 		return nil, fmt.Errorf("graph: symmetric closure of %d processes is not enumerable", n)

@@ -1,0 +1,108 @@
+package memo
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPut(t *testing.T) {
+	c := NewCache[int](4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	c.Put("a", 10)
+	if v, _ := c.Get("a"); v != 10 {
+		t.Fatalf("overwrite: got %d, want 10", v)
+	}
+	s := c.Stats()
+	if s.Entries != 2 || s.Hits != 2 || s.Misses != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := NewCache[int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Get("a") // a most recently used
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted (LRU)")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should have survived")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c should be present")
+	}
+	if ev := c.Stats().Evictions; ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+}
+
+func TestDo(t *testing.T) {
+	c := NewCache[string](4)
+	calls := 0
+	compute := func() (string, error) { calls++; return "v", nil }
+	for i := 0; i < 3; i++ {
+		v, err := c.Do("k", compute)
+		if err != nil || v != "v" {
+			t.Fatalf("Do: %q, %v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	_, err := c.Do("bad", func() (string, error) { return "", fmt.Errorf("boom") })
+	if err == nil {
+		t.Fatal("Do should propagate errors")
+	}
+	if _, ok := c.Get("bad"); ok {
+		t.Fatal("errors must not be cached")
+	}
+}
+
+func TestDisabled(t *testing.T) {
+	defer SetEnabled(true)
+	c := NewCache[int](4)
+	c.Put("a", 1)
+	SetEnabled(false)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache must miss")
+	}
+	c.Put("b", 2)
+	SetEnabled(true)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("disabled Put must be a no-op")
+	}
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatal("re-enabling must restore the warm cache")
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	c := NewCache[int](32)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", i%64)
+				c.Put(key, i)
+				c.Get(key)
+				c.Do(key, func() (int, error) { return i, nil })
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 32 {
+		t.Fatalf("cache exceeded capacity: %d", n)
+	}
+}

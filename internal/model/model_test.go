@@ -130,16 +130,19 @@ func TestEnumerateGraphsCounts(t *testing.T) {
 }
 
 func TestEnumerateGraphsGuards(t *testing.T) {
-	// Loops-only generator on 6 processes has 30 missing edges: too sparse.
+	// Loops-only generator on 6 processes has 30 missing edges: 2^30 ranks
+	// exceed the default budget.
 	loops := graph.MustNew(6)
 	m, _ := Simple(loops)
 	if err := m.EnumerateGraphs(func(graph.Digraph) bool { return true }); err == nil {
-		t.Errorf("30 missing edges should be rejected")
+		t.Errorf("30 missing edges should exceed the default budget")
 	}
+	// Loops-only on 9 processes has 72 missing edges: past the 2^62
+	// per-generator rank cap, unenumerable at any budget.
 	big := graph.MustNew(9)
 	m, _ = Simple(big)
 	if err := m.EnumerateGraphs(func(graph.Digraph) bool { return true }); err == nil {
-		t.Errorf("n>8 should be rejected")
+		t.Errorf("72 missing edges should be rejected (segment ranks exceed int64)")
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"ksettop/internal/bits"
 	"ksettop/internal/graph"
+	"ksettop/internal/par"
 )
 
 // SolveResult is the outcome of an exhaustive decision-map search.
@@ -46,6 +47,11 @@ type SolveResult struct {
 // round-r product graphs: after r rounds a flattened view is determined by
 // the product graph's in-neighborhoods, so the r-round oblivious question is
 // exactly this one-round question on S^r.
+//
+// The assignments × graphs constraint sweep is sharded across the par
+// worker pool with per-shard intern tables, merged in shard order, so the
+// view/constraint universe — and therefore the search result — is identical
+// to a sequential sweep for every parallelism setting.
 //
 // The search is exponential; nodeBudget bounds explored nodes (error when
 // exhausted).
@@ -90,58 +96,86 @@ func SolveOneRound(roundGraphs []graph.Digraph, numValues, k, nodeBudget int) (S
 		graphIn[gi] = row
 	}
 
-	// Build the view universe and the execution constraints. Distinct
-	// executions frequently induce identical view SETS (e.g. every graph of
-	// a closure that leaves in-neighborhoods unchanged); since the
-	// constraint "≤ k distinct decisions" depends only on the view set,
-	// constraints are deduplicated, which shrinks hard instances by orders
-	// of magnitude. Both tables intern through 64-bit hashes with full
-	// content comparison — no per-execution key strings or view slices are
-	// allocated; memory grows only with the number of DISTINCT views and
-	// constraints.
-	views := newViewIntern(n)
-	constraints := newConstraintIntern()
-	var execViews [][]int32 // per unique constraint, sorted unique view ids
-	var viewExecs [][]int   // per view, ascending unique constraint indices
-	totalExecs := 0
-
-	assignment := make([]Value, n)
-	viewOfInSet := make([]int32, len(inSets))
-	scratchIDs := make([]int32, 0, n)
-	for {
-		for s, in := range inSets {
-			viewOfInSet[s] = views.intern(in, assignment)
+	// A graph enters a constraint only through its SET of in-neighborhoods:
+	// two graphs with the same sorted-unique in-set-id list induce identical
+	// constraints under every assignment. Closures are full of such
+	// duplicates (e.g. the n=4 star closure has 1695 graphs but only 447
+	// distinct lists), so the per-assignment sweep runs over the deduped
+	// lists. Dedup preserves first-occurrence order, which keeps the
+	// constraint numbering identical to a graph-by-graph sweep.
+	lists := newConstraintIntern()
+	idScratch := make([]int32, 0, n)
+	for _, row := range graphIn {
+		ids := idScratch[:0]
+		for p := 0; p < n; p++ {
+			ids = append(ids, row[p])
 		}
-		for id := len(viewExecs); id < len(views.views); id++ {
-			viewExecs = append(viewExecs, nil)
-		}
-		for gi := range roundGraphs {
-			totalExecs++
-			row := graphIn[gi]
-			ids := scratchIDs
-			for p := 0; p < n; p++ {
-				ids = append(ids, viewOfInSet[row[p]])
-			}
-			ids = sortDedupInt32(ids)
-			if !constraints.insert(ids) {
-				continue
-			}
-			e := len(execViews)
-			cp := make([]int32, len(ids))
-			copy(cp, ids)
-			execViews = append(execViews, cp)
-			for _, id := range ids {
-				viewExecs[id] = append(viewExecs[id], e)
-			}
-		}
-		if !incCounter(assignment, numValues) {
-			break
-		}
+		lists.insert(sortDedupInt32(ids))
+	}
+	execLists := make([][]int32, lists.count())
+	for c := range execLists {
+		execLists[c] = lists.get(int32(c))
 	}
 
-	res := SolveResult{Views: len(views.views), Executions: totalExecs}
+	// Build the view universe and the execution constraints over the rank
+	// space assignments × lists. Distinct executions frequently induce
+	// identical view SETS; since the constraint "≤ k distinct decisions"
+	// depends only on the view set, constraints are deduplicated, which
+	// shrinks hard instances by orders of magnitude. Both tables intern
+	// through 64-bit hashes with full content comparison — no per-execution
+	// key strings or view slices are allocated; memory grows only with the
+	// number of DISTINCT views and constraints.
+	in := solveInput{
+		n:         n,
+		numValues: numValues,
+		inSets:    inSets,
+		execLists: execLists,
+	}
+	total := int64(numAssignments) * int64(len(execLists))
+	shards := par.NumShards(total)
+	var views *viewIntern
+	var constraints *constraintIntern
+	if shards <= 1 {
+		views, constraints = buildSolveTables(in, 0, total)
+	} else {
+		localViews := make([]*viewIntern, shards)
+		localCons := make([]*constraintIntern, shards)
+		par.ForEachShardN(total, shards, &par.Ctl{}, func(shard int, from, to int64, _ *par.Ctl) {
+			localViews[shard], localCons[shard] = buildSolveTables(in, from, to)
+		})
+		views, constraints = mergeSolveTables(n, localViews, localCons)
+	}
+
+	res := SolveResult{Views: len(views.views), Executions: numAssignments * len(roundGraphs)}
 	if numValues > 16 {
 		return res, fmt.Errorf("protocol: solver supports ≤16 values, got %d", numValues)
+	}
+
+	// Flat, pointer-free search tables: execViews shares the constraint
+	// arena, viewExecs is CSR over one backing array, and the per-execution
+	// value counts live in a single flat slice — the search state stays off
+	// the garbage collector's scan list.
+	numCons := constraints.count()
+	execViews := make([][]int32, numCons)
+	for c := range execViews {
+		execViews[c] = constraints.get(int32(c))
+	}
+	veStarts := make([]int32, len(views.views)+1)
+	for _, ids := range execViews {
+		for _, id := range ids {
+			veStarts[id+1]++
+		}
+	}
+	for i := 1; i < len(veStarts); i++ {
+		veStarts[i] += veStarts[i-1]
+	}
+	veData := make([]int32, veStarts[len(veStarts)-1])
+	fill := make([]int32, len(views.views))
+	for c, ids := range execViews {
+		for _, id := range ids {
+			veData[veStarts[id]+fill[id]] = int32(c)
+			fill[id]++
+		}
 	}
 
 	s := &cspState{
@@ -150,10 +184,11 @@ func SolveOneRound(roundGraphs []graph.Digraph, numValues, k, nodeBudget int) (S
 		execViews: execViews,
 		decided:   make([]Value, len(views.views)),
 		domains:   make([]uint16, len(views.views)),
-		counts:    make([][]int, len(execViews)),
-		distinct:  make([]int, len(execViews)),
-		valueMask: make([]uint16, len(execViews)),
-		viewExecs: viewExecs,
+		counts:    make([]int32, numCons*numValues),
+		distinct:  make([]int32, numCons),
+		valueMask: make([]uint16, numCons),
+		veStarts:  veStarts,
+		veData:    veData,
 	}
 	for i, v := range views.views {
 		s.decided[i] = NoValue
@@ -164,9 +199,6 @@ func SolveOneRound(roundGraphs []graph.Digraph, numValues, k, nodeBudget int) (S
 			}
 		}
 		s.domains[i] = dom
-	}
-	for e := range execViews {
-		s.counts[e] = make([]int, numValues)
 	}
 
 	solved, err := s.search(&res.Nodes, nodeBudget)
@@ -182,6 +214,91 @@ func SolveOneRound(roundGraphs []graph.Digraph, numValues, k, nodeBudget int) (S
 		res.Map = &DecisionMap{R: 1, Table: table}
 	}
 	return res, nil
+}
+
+// solveInput is the read-only context of one table-building sweep.
+type solveInput struct {
+	n         int
+	numValues int
+	inSets    []bits.Set
+	execLists [][]int32
+}
+
+// buildSolveTables interns the views and execution constraints of the ranks
+// in [from, to), where rank r denotes assignment r/len(execLists) applied to
+// list r%len(execLists), scanning in ascending rank order. Each worker shard
+// gets its own intern tables; mergeSolveTables stitches them together.
+func buildSolveTables(in solveInput, from, to int64) (*viewIntern, *constraintIntern) {
+	views := newViewIntern(in.n)
+	constraints := newConstraintIntern()
+	if from >= to {
+		return views, constraints
+	}
+	L := int64(len(in.execLists))
+	assignment := make([]Value, in.n)
+	assignmentFromRank(from/L, in.numValues, assignment)
+	viewOfInSet := make([]int32, len(in.inSets))
+	refresh := func() {
+		for s, inSet := range in.inSets {
+			viewOfInSet[s] = views.intern(inSet, assignment)
+		}
+	}
+	refresh()
+	scratch := make([]int32, 0, in.n)
+	li := from % L
+	for r := from; r < to; r++ {
+		ids := scratch[:0]
+		for _, s := range in.execLists[li] {
+			ids = append(ids, viewOfInSet[s])
+		}
+		constraints.insert(sortDedupInt32(ids))
+		li++
+		if li == L {
+			li = 0
+			if r+1 < to {
+				incCounter(assignment, in.numValues)
+				refresh()
+			}
+		}
+	}
+	return views, constraints
+}
+
+// assignmentFromRank writes the rank-th assignment in incCounter order
+// (last index least significant) into assignment.
+func assignmentFromRank(rank int64, numValues int, assignment []Value) {
+	for i := len(assignment) - 1; i >= 0; i-- {
+		assignment[i] = Value(rank % int64(numValues))
+		rank /= int64(numValues)
+	}
+}
+
+// mergeSolveTables folds the per-shard intern tables into one global pair,
+// in shard order. Shards cover contiguous ascending rank ranges, so
+// first-encounter order across the merged shards equals the first-encounter
+// order of a sequential sweep — view ids, constraint ids, and therefore the
+// whole search are byte-identical to the single-shard path.
+func mergeSolveTables(n int, localViews []*viewIntern, localCons []*constraintIntern) (*viewIntern, *constraintIntern) {
+	views := newViewIntern(n)
+	constraints := newConstraintIntern()
+	scratch := make([]int32, 0, n)
+	for s := range localViews {
+		lv, lc := localViews[s], localCons[s]
+		remap := make([]int32, len(lv.views))
+		for id, v := range lv.views {
+			remap[id] = views.internView(v, lv.hashes[id])
+		}
+		for c := 0; c < lc.count(); c++ {
+			ids := lc.get(int32(c))
+			mapped := scratch[:0]
+			for _, id := range ids {
+				mapped = append(mapped, remap[id])
+			}
+			// Remapping is injective, so only the order needs restoring.
+			constraints.insert(sortDedupInt32(mapped))
+		}
+	}
+	return views, constraints
 }
 
 // viewIntern deduplicates flattened views through an open-addressed hash
@@ -233,8 +350,31 @@ func (vi *viewIntern) intern(in bits.Set, assignment []Value) int32 {
 		}
 		idx = (idx + 1) & vi.mask
 	}
+	return vi.insertAt(idx, v.Clone(), h)
+}
+
+// internView interns an already-flattened view with a precomputed hash,
+// taking ownership of v (the merge path hands over shard-local views whose
+// tables are then discarded).
+func (vi *viewIntern) internView(v View, h uint64) int32 {
+	idx := h & vi.mask
+	for {
+		slot := vi.slots[idx]
+		if slot == 0 {
+			break
+		}
+		id := slot - 1
+		if vi.hashes[id] == h && viewsEqual(vi.views[id], v) {
+			return id
+		}
+		idx = (idx + 1) & vi.mask
+	}
+	return vi.insertAt(idx, v, h)
+}
+
+func (vi *viewIntern) insertAt(idx uint64, v View, h uint64) int32 {
 	id := int32(len(vi.views))
-	vi.views = append(vi.views, v.Clone())
+	vi.views = append(vi.views, v)
 	vi.hashes = append(vi.hashes, h)
 	vi.slots[idx] = id + 1
 	if uint64(len(vi.views))*4 > (vi.mask+1)*3 {
@@ -277,6 +417,9 @@ func newConstraintIntern() *constraintIntern {
 func (ci *constraintIntern) get(c int32) []int32 {
 	return ci.arena[ci.offs[c]:ci.offs[c+1]]
 }
+
+// count returns the number of interned lists.
+func (ci *constraintIntern) count() int { return len(ci.offs) - 1 }
 
 // insert reports whether ids (sorted, unique) was absent, adding it if so.
 func (ci *constraintIntern) insert(ids []int32) bool {
@@ -347,17 +490,25 @@ type cspState struct {
 	execViews [][]int32
 	decided   []Value
 	domains   []uint16
-	counts    [][]int
-	distinct  []int
+	counts    []int32 // flat [execution][value] decision counts
+	distinct  []int32
 	valueMask []uint16 // per execution: values with count > 0
-	viewExecs [][]int
-	trail     []trailEntry
+	// viewExecs in CSR form: view v touches constraint indices
+	// veData[veStarts[v]:veStarts[v+1]], ascending.
+	veStarts []int32
+	veData   []int32
+	trail    []trailEntry
 }
 
 type trailEntry struct {
 	view      int
 	oldDomain uint16
 	assigned  bool // true: undo an assignment; false: restore oldDomain
+}
+
+// viewExecs returns the constraint indices touching view v.
+func (s *cspState) viewExecs(v int) []int32 {
+	return s.veData[s.veStarts[v]:s.veStarts[v+1]]
 }
 
 // assign commits view id to value d and runs propagation. It reports false
@@ -378,17 +529,18 @@ func (s *cspState) assign(id int, d Value) bool {
 		}
 		s.decided[v] = val
 		s.trail = append(s.trail, trailEntry{view: v, assigned: true})
-		for _, e := range s.viewExecs[v] {
-			s.counts[e][val]++
-			if s.counts[e][val] > 1 {
+		for _, e := range s.viewExecs(v) {
+			c := &s.counts[int(e)*s.numValues+int(val)]
+			*c++
+			if *c > 1 {
 				continue
 			}
 			s.distinct[e]++
 			s.valueMask[e] |= 1 << uint(val)
-			if s.distinct[e] > s.k {
+			if int(s.distinct[e]) > s.k {
 				return false
 			}
-			if s.distinct[e] < s.k {
+			if int(s.distinct[e]) < s.k {
 				continue
 			}
 			// Execution e is saturated: restrict its unassigned views.
@@ -424,9 +576,10 @@ func (s *cspState) unwind(mark int) {
 		}
 		val := s.decided[t.view]
 		s.decided[t.view] = NoValue
-		for _, e := range s.viewExecs[t.view] {
-			s.counts[e][val]--
-			if s.counts[e][val] == 0 {
+		for _, e := range s.viewExecs(t.view) {
+			c := &s.counts[int(e)*s.numValues+int(val)]
+			*c--
+			if *c == 0 {
 				s.distinct[e]--
 				s.valueMask[e] &^= 1 << uint(val)
 			}

@@ -5,6 +5,7 @@ import (
 
 	"ksettop/internal/graph"
 	"ksettop/internal/model"
+	"ksettop/internal/par"
 )
 
 const solverBudget = 5_000_000
@@ -160,6 +161,44 @@ func TestSolverMultiRoundViaProducts(t *testing.T) {
 	}
 	if res.Solvable {
 		t.Errorf("consensus in 2 rounds on ↑cycle₄ must be impossible for oblivious algorithms")
+	}
+}
+
+func TestSolverDeterministicAcrossParallelism(t *testing.T) {
+	// The table-building sweep shards across the worker pool with per-shard
+	// intern tables; the shard-order merge must reproduce the sequential
+	// view/constraint universe exactly, so the whole SolveResult — including
+	// the explored node count — is pinned across worker counts. The n=4 star
+	// closure (1695 graphs, 256 assignments) is large enough that the
+	// sharded path actually runs at every multi-worker setting.
+	m, err := model.NonEmptyKernelModel(4)
+	if err != nil {
+		t.Fatalf("NonEmptyKernelModel: %v", err)
+	}
+	all, err := m.AllGraphs()
+	if err != nil {
+		t.Fatalf("AllGraphs: %v", err)
+	}
+	par.SetParallelism(1)
+	want, err := SolveOneRound(all, 4, 3, 50_000_000)
+	par.SetParallelism(0)
+	if err != nil {
+		t.Fatalf("sequential SolveOneRound: %v", err)
+	}
+	if want.Solvable {
+		t.Fatalf("3-set agreement on Sym(star), n=4, must be impossible")
+	}
+	defer par.SetParallelism(0)
+	for _, workers := range []int{2, 5, 8} {
+		par.SetParallelism(workers)
+		got, err := SolveOneRound(all, 4, 3, 50_000_000)
+		par.SetParallelism(0)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got != want {
+			t.Errorf("workers=%d: SolveResult %+v differs from sequential %+v", workers, got, want)
+		}
 	}
 }
 
