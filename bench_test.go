@@ -56,6 +56,7 @@ func BenchmarkE11UninterpretedConnectivity(b *testing.B) { benchExperiment(b, "E
 func BenchmarkE12MultiRound(b *testing.B)                { benchExperiment(b, "E12") }
 func BenchmarkE13TournamentGap(b *testing.B)             { benchExperiment(b, "E13") }
 func BenchmarkE14StarUnions7(b *testing.B)               { benchExperiment(b, "E14") }
+func BenchmarkE15RandomModels(b *testing.B)              { benchExperiment(b, "E15") }
 
 // Micro-benchmarks for the core computations the experiments are built on.
 
@@ -231,6 +232,65 @@ func BenchmarkHomologyBetti(b *testing.B) {
 			}
 		}
 	}
+}
+
+func BenchmarkHomologyBettiPseudosphere64k(b *testing.B) {
+	// 9 colors, mixed 3/2 views: 82943 distinct simplexes (> 64k) with
+	// 9-vertex facets — no packing width fits, so the seed fast path
+	// rejects the instance outright and only the sparse engine carries it.
+	ac, err := topology.PseudosphereComplex([]int{3, 3, 3, 3, 3, 2, 2, 2, 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if topology.PackedHomologyCapable(ac, 7) {
+		b.Fatal("instance unexpectedly fits the packed path")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		betti, err := topology.ReducedBettiNumbers(ac, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for q, v := range betti {
+			if v != 0 {
+				b.Fatalf("β̃_%d = %d, want 0", q, v)
+			}
+		}
+	}
+}
+
+func BenchmarkHomologyBettiSparseVsPacked(b *testing.B) {
+	// The seed HomologyBetti workload driven through the sparse engine
+	// explicitly (the tracked HomologyBetti benchmark measures whatever the
+	// default engine is): apples-to-apples against the packed oracle.
+	m, err := model.NonEmptyKernelModel(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := topology.UninterpretedComplex(m.Generators())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ac, _, err := c.ToAbstract()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("sparse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := topology.ReducedBettiNumbers(ac, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("packed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := topology.ReducedBettiNumbersOracle(ac, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkExecutorRun(b *testing.B) {

@@ -8,7 +8,7 @@
 //	ksetbench                       # writes BENCH_1.json
 //	ksetbench -out BENCH_7.json     # explicit snapshot name
 //	ksetbench -parallelism 8        # pin the worker-pool size
-//	ksetbench -out BENCH_ci.json -against BENCH_2.json
+//	ksetbench -out BENCH_ci.json -against BENCH_3.json
 //	                                # also fail when any benchmark shared
 //	                                # with the committed snapshot regresses
 //	                                # more than -regress (default 25%)
@@ -265,6 +265,27 @@ func benches() []bench {
 			for i := 0; i < b.N; i++ {
 				if _, err := topology.ReducedBettiNumbers(ac, 2); err != nil {
 					b.Fatal(err)
+				}
+			}
+		}},
+		{"HomologyBetti64k", func(b *testing.B) {
+			// 9-color pseudosphere with 82943 distinct simplexes and
+			// 9-vertex facets: past every packing width, sparse engine
+			// only. Join of discrete sets ⇒ β̃_0..β̃_7 = 0.
+			ac, err := topology.PseudosphereComplex([]int{3, 3, 3, 3, 3, 2, 2, 2, 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				betti, err := topology.ReducedBettiNumbers(ac, 7)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for q, v := range betti {
+					if v != 0 {
+						b.Fatalf("β̃_%d = %d, want 0", q, v)
+					}
 				}
 			}
 		}},

@@ -37,9 +37,17 @@ func run() error {
 	only := flag.String("only", "", "comma-separated experiment IDs (default all)")
 	parallelism := flag.Int("parallelism", 0, "worker-pool size (0 = KSETTOP_PARALLELISM or GOMAXPROCS)")
 	memoFlag := flag.String("memo", "on", cli.MemoFlagUsage)
+	engineFlag := flag.String("engine", "sparse", cli.EngineFlagUsage)
+	memoSnapshot := flag.String("memo-snapshot", "", cli.MemoSnapshotUsage)
 	flag.Parse()
 	par.SetParallelism(*parallelism)
 	if err := cli.ApplyMemoFlag(*memoFlag); err != nil {
+		return err
+	}
+	if err := cli.ApplyEngineFlag(*engineFlag); err != nil {
+		return err
+	}
+	if err := cli.LoadMemoSnapshot(*memoSnapshot); err != nil {
 		return err
 	}
 
@@ -70,5 +78,5 @@ func run() error {
 	if failures > 0 {
 		return fmt.Errorf("%d experiment(s) had failing rows", failures)
 	}
-	return nil
+	return cli.SaveMemoSnapshot(*memoSnapshot)
 }

@@ -7,6 +7,8 @@
 //
 //	ksettopo -model star:n=3 -values 3
 //	ksettopo -model simple-cycle:n=4 -values 2 -maxdim 1
+//	ksettopo -model stars:n=6,s=2 -engine packed        # seed oracle backend
+//	ksettopo -model star:n=5 -memo-snapshot memo.snap   # warm-start closures
 package main
 
 import (
@@ -33,9 +35,17 @@ func run() error {
 	maxDim := flag.Int("maxdim", -1, "homology dimension cap (default n−2)")
 	parallelism := flag.Int("parallelism", 0, "worker-pool size (0 = KSETTOP_PARALLELISM or GOMAXPROCS)")
 	memoFlag := flag.String("memo", "on", cli.MemoFlagUsage)
+	engineFlag := flag.String("engine", "sparse", cli.EngineFlagUsage)
+	memoSnapshot := flag.String("memo-snapshot", "", cli.MemoSnapshotUsage)
 	flag.Parse()
 	par.SetParallelism(*parallelism)
 	if err := cli.ApplyMemoFlag(*memoFlag); err != nil {
+		return err
+	}
+	if err := cli.ApplyEngineFlag(*engineFlag); err != nil {
+		return err
+	}
+	if err := cli.LoadMemoSnapshot(*memoSnapshot); err != nil {
 		return err
 	}
 
@@ -52,7 +62,10 @@ func run() error {
 	if err := reportUninterpreted(m, dim); err != nil {
 		return err
 	}
-	return reportProtocol(m, *values, dim)
+	if err := reportProtocol(m, *values, dim); err != nil {
+		return err
+	}
+	return cli.SaveMemoSnapshot(*memoSnapshot)
 }
 
 func reportUninterpreted(m *model.ClosedAbove, dim int) error {

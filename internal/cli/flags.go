@@ -1,0 +1,54 @@
+package cli
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"ksettop/internal/memo"
+	"ksettop/internal/topology"
+)
+
+// EngineFlagUsage is the shared help text of the -engine flag.
+const EngineFlagUsage = "homology engine: sparse (sharded CSC reduction) | packed (seed bit-packed oracle)"
+
+// ApplyEngineFlag interprets the shared -engine flag value and switches the
+// process-wide GF(2) reduction backend.
+func ApplyEngineFlag(value string) error {
+	switch strings.ToLower(value) {
+	case "sparse":
+		topology.SetHomologyEngine(topology.EngineSparse)
+	case "packed":
+		topology.SetHomologyEngine(topology.EnginePacked)
+	default:
+		return fmt.Errorf("cli: -engine=%q, want sparse or packed", value)
+	}
+	return nil
+}
+
+// MemoSnapshotUsage is the shared help text of the -memo-snapshot flag.
+const MemoSnapshotUsage = "memo snapshot file: loaded before the run when present, rewritten after a successful run (empty = off)"
+
+// LoadMemoSnapshot restores the memo caches from the -memo-snapshot file.
+// An empty path or a missing file is a no-op — the first run of a fresh
+// workspace starts cold and writes the snapshot on exit.
+func LoadMemoSnapshot(path string) error {
+	if path == "" {
+		return nil
+	}
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		return nil
+	}
+	return memo.LoadSnapshot(path)
+}
+
+// SaveMemoSnapshot persists the memo caches to the -memo-snapshot file; an
+// empty path is a no-op. So is a run with memoization disabled: with
+// -memo=off every cache stayed empty (Put is a no-op), and overwriting the
+// file would destroy a previously warm snapshot.
+func SaveMemoSnapshot(path string) error {
+	if path == "" || !memo.Enabled() {
+		return nil
+	}
+	return memo.SaveSnapshot(path)
+}

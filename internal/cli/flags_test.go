@@ -1,0 +1,88 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ksettop/internal/graph"
+	"ksettop/internal/memo"
+	"ksettop/internal/topology"
+)
+
+func TestApplyEngineFlag(t *testing.T) {
+	defer topology.SetHomologyEngine(topology.EngineSparse)
+	if err := ApplyEngineFlag("packed"); err != nil {
+		t.Fatal(err)
+	}
+	if got := topology.CurrentHomologyEngine(); got != topology.EnginePacked {
+		t.Errorf("engine = %v, want packed", got)
+	}
+	if err := ApplyEngineFlag("SPARSE"); err != nil {
+		t.Fatal(err)
+	}
+	if got := topology.CurrentHomologyEngine(); got != topology.EngineSparse {
+		t.Errorf("engine = %v, want sparse", got)
+	}
+	if err := ApplyEngineFlag("dense"); err == nil {
+		t.Error("unknown engine should be rejected")
+	}
+}
+
+func TestMemoSnapshotFlagRoundTrip(t *testing.T) {
+	if err := LoadMemoSnapshot(""); err != nil {
+		t.Errorf("empty path should be a no-op, got %v", err)
+	}
+	if err := SaveMemoSnapshot(""); err != nil {
+		t.Errorf("empty path should be a no-op, got %v", err)
+	}
+	missing := filepath.Join(t.TempDir(), "absent.snap")
+	if err := LoadMemoSnapshot(missing); err != nil {
+		t.Errorf("missing file should be a cold start, got %v", err)
+	}
+
+	// Warm the closure cache through a real model build, save, reload.
+	g, err := graph.Star(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := graph.SymClosure([]graph.Digraph{g}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "memo.snap")
+	if err := SaveMemoSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadMemoSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot layer never flips the enable switch.
+	if !memo.Enabled() {
+		t.Error("snapshot round-trip changed the memo enable switch")
+	}
+}
+
+// TestSaveMemoSnapshotSkippedWhileDisabled pins that a -memo=off run cannot
+// overwrite a warm snapshot with empty caches.
+func TestSaveMemoSnapshotSkippedWhileDisabled(t *testing.T) {
+	defer memo.SetEnabled(true)
+	path := filepath.Join(t.TempDir(), "warm.snap")
+	if err := SaveMemoSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memo.SetEnabled(false)
+	if err := SaveMemoSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.ModTime().Equal(before.ModTime()) || after.Size() != before.Size() {
+		t.Error("disabled-memo run rewrote the snapshot file")
+	}
+}

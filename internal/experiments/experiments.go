@@ -147,6 +147,7 @@ func All() []Runner {
 		{"E12", E12MultiRound},
 		{"E13", E13TournamentGap},
 		{"E14", E14StarUnions7},
+		{"E15", E15RandomClosedAbove},
 	}
 }
 

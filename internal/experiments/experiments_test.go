@@ -119,3 +119,34 @@ func TestE14GoldenTable(t *testing.T) {
 		}
 	}
 }
+
+// TestE15GoldenTable pins the random closed-above sweep cell by cell: the
+// seeded draws, the closure sizes, the Betti vectors from the sparse engine,
+// and which rows exceed the seed packed path's caps are all deterministic.
+func TestE15GoldenTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E15 builds eight random models; skipped in -short mode")
+	}
+	table, err := E15RandomClosedAbove()
+	if err != nil {
+		t.Fatalf("E15: %v", err)
+	}
+	golden := [][]string{
+		{"4", "1", "0.50", "true", "24", "665", "28", "packed", "[0 0 0]", "ok", "ok"},
+		{"4", "2", "0.30", "false", "2", "1040", "25", "packed", "[0 0 0]", "ok", "ok"},
+		{"5", "3", "0.80", "true", "240", "3196", "55", "packed", "[0 0 0 0]", "ok", "ok"},
+		{"5", "4", "0.40", "false", "2", "4992", "39", "packed", "[0 0 0 0]", "ok", "ok"},
+		{"6", "5", "0.85", "true", "1080", "7621", "156", "packed", "[0 0 0 0 0]", "ok", "ok"},
+		{"6", "6", "0.80", "false", "2", "504", "29", "packed", "[0 0 0 0 0]", "ok", "ok"},
+		{"9", "7", "0.95", "false", "2", "2049", "28", "sparse-only", "[0 0 0 0 0 0 0 0]", "ok", "n/a"},
+		{"10", "8", "0.97", "false", "1", "8", "13", "sparse-only", "[0 0 0 0 0 0 0 0 0]", "ok", "n/a"},
+	}
+	if len(table.Rows) != len(golden) {
+		t.Fatalf("E15 has %d rows, want %d:\n%s", len(table.Rows), len(golden), table.Render())
+	}
+	for i, want := range golden {
+		if got := fmt.Sprint(table.Rows[i]); got != fmt.Sprint(want) {
+			t.Errorf("E15 row %d = %v, want %v", i, table.Rows[i], want)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package graph
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ksettop/internal/memo"
+)
+
+// TestSymClosureSnapshotRoundTrip warms the closure cache, saves a snapshot,
+// clears the cache and reloads — the closure must come back identical and as
+// a cache hit (no n! sweep).
+func TestSymClosureSnapshotRoundTrip(t *testing.T) {
+	g, err := UnionOfStars(6, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := SymClosure([]Digraph{g})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "memo.snap")
+	if err := memo.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	symCache.Clear()
+	if err := memo.LoadSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	before := symCache.Stats()
+	got, err := SymClosure([]Digraph{g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := symCache.Stats()
+	if after.Hits != before.Hits+1 {
+		t.Errorf("closure after reload was recomputed (hits %d → %d)", before.Hits, after.Hits)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("closure has %d graphs after reload, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Errorf("graph %d differs after round-trip:\n got %v\nwant %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDigraphCodecRejectsCorrupt(t *testing.T) {
+	if err := restoreSymClosures([]byte{0xff}); err == nil {
+		t.Error("truncated payload should be rejected")
+	}
+	// count=1, key "k", closure size 1, digraph with n=0: invalid.
+	bad := []byte{1, 1, 'k', 1, 0}
+	if err := restoreSymClosures(bad); err == nil {
+		t.Error("digraph with 0 processes should be rejected")
+	}
+	// count=1, key "k", closure size = huge varint: must error, not panic
+	// on the allocation.
+	huge := []byte{1, 1, 'k', 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}
+	if err := restoreSymClosures(huge); err == nil {
+		t.Error("oversized closure count should be rejected")
+	}
+}

@@ -1,0 +1,190 @@
+package memo
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Memo snapshots persist cache contents across process runs: the CLI tools
+// rebuild the same symmetric closures on every invocation, and a disk
+// snapshot (canonical key → closure, length-prefixed binary) turns the cold
+// start into a file read. Caches opt in by registering a named section with
+// an export/import pair; the value encoding lives with the cache owner
+// (e.g. internal/graph encodes digraph slices), so this package stays free
+// of domain types.
+
+// snapshotMagic identifies the file format; bump the trailing version byte
+// on incompatible changes. Loaders reject other magics outright and skip
+// sections they have no importer for, so adding sections stays
+// backward-compatible.
+var snapshotMagic = []byte("ksetmemo\x01")
+
+type snapshotSection struct {
+	name    string
+	export  func() ([]byte, error)
+	restore func([]byte) error
+}
+
+var (
+	sectionMu sync.Mutex
+	sections  []snapshotSection
+)
+
+// RegisterSnapshot adds a named snapshot section. export serializes the
+// owner's cache contents; restore restores them (typically via Cache.Put,
+// so restoring is additive and thread-safe). Registration normally happens
+// in the owner package's init.
+func RegisterSnapshot(name string, export func() ([]byte, error), restore func([]byte) error) {
+	sectionMu.Lock()
+	defer sectionMu.Unlock()
+	for _, s := range sections {
+		if s.name == name {
+			panic(fmt.Sprintf("memo: duplicate snapshot section %q", name))
+		}
+	}
+	sections = append(sections, snapshotSection{name: name, export: export, restore: restore})
+}
+
+// SaveSnapshot writes every registered section to path (atomically: a temp
+// file in the same directory is renamed over the target).
+func SaveSnapshot(path string) error {
+	sectionMu.Lock()
+	secs := append([]snapshotSection(nil), sections...)
+	sectionMu.Unlock()
+
+	var buf bytes.Buffer
+	buf.Write(snapshotMagic)
+	WriteUvarint(&buf, uint64(len(secs)))
+	for _, s := range secs {
+		payload, err := s.export()
+		if err != nil {
+			return fmt.Errorf("memo: exporting section %q: %w", s.name, err)
+		}
+		WriteUvarint(&buf, uint64(len(s.name)))
+		buf.WriteString(s.name)
+		WriteUvarint(&buf, uint64(len(payload)))
+		buf.Write(payload)
+	}
+
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".memo-snapshot-*")
+	if err != nil {
+		return fmt.Errorf("memo: %w", err)
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("memo: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("memo: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("memo: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshot restores every section of the file that has a registered
+// importer; sections without one are skipped, so snapshots survive the
+// removal of a cache. Loading is additive — it Puts entries into live
+// caches and never clears anything.
+func LoadSnapshot(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("memo: %w", err)
+	}
+	if !bytes.HasPrefix(data, snapshotMagic) {
+		return fmt.Errorf("memo: %s is not a memo snapshot", path)
+	}
+	r := bytes.NewReader(data[len(snapshotMagic):])
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return fmt.Errorf("memo: corrupt snapshot %s: %w", path, err)
+	}
+	sectionMu.Lock()
+	importers := make(map[string]func([]byte) error, len(sections))
+	for _, s := range sections {
+		importers[s.name] = s.restore
+	}
+	sectionMu.Unlock()
+	for i := uint64(0); i < count; i++ {
+		name, err := ReadLengthPrefixed(r)
+		if err != nil {
+			return fmt.Errorf("memo: corrupt snapshot %s: %w", path, err)
+		}
+		payload, err := ReadLengthPrefixed(r)
+		if err != nil {
+			return fmt.Errorf("memo: corrupt snapshot %s: %w", path, err)
+		}
+		imp, ok := importers[string(name)]
+		if !ok {
+			continue
+		}
+		if err := imp(payload); err != nil {
+			return fmt.Errorf("memo: importing section %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// WriteUvarint appends v to buf as a varint — the framing primitive shared
+// by the snapshot file and the section codecs (e.g. internal/graph).
+func WriteUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+}
+
+// ReadLengthPrefixed reads a varint length followed by that many bytes,
+// rejecting lengths beyond the remaining input before allocating.
+func ReadLengthPrefixed(r *bytes.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Len()) {
+		return nil, fmt.Errorf("length %d exceeds remaining %d bytes", n, r.Len())
+	}
+	out := make([]byte, n)
+	if _, err := io.ReadFull(r, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SnapshotEntries returns the cache's keys and values aligned, least
+// recently used first — the order Restore should replay them in so that
+// recency survives a round-trip.
+func (c *Cache[V]) SnapshotEntries() ([]string, []V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, 0, len(c.entries))
+	vals := make([]V, 0, len(c.entries))
+	for e := c.tail; e != nil; e = e.prev {
+		keys = append(keys, e.key)
+		vals = append(vals, e.value)
+	}
+	return keys, vals
+}
+
+// Restore Puts the entries back in order (pair i of keys and vals).
+// Replaying a SnapshotEntries dump LRU-first reproduces the recency order.
+func (c *Cache[V]) Restore(keys []string, vals []V) {
+	for i := range keys {
+		c.Put(keys[i], vals[i])
+	}
+}
+
+// Clear drops every entry (counters are kept; they are lifetime totals).
+func (c *Cache[V]) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*entry[V], c.capacity)
+	c.head, c.tail = nil, nil
+}

@@ -1,0 +1,110 @@
+package memo
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSnapshotEntriesRoundTrip(t *testing.T) {
+	c := NewCache[int](8)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	c.Get("a") // bump recency: LRU order is now b, c, a
+
+	keys, vals := c.SnapshotEntries()
+	if len(keys) != 3 || keys[0] != "b" || keys[1] != "c" || keys[2] != "a" {
+		t.Fatalf("LRU-first keys = %v, want [b c a]", keys)
+	}
+
+	fresh := NewCache[int](8)
+	fresh.Restore(keys, vals)
+	for key, want := range map[string]int{"a": 1, "b": 2, "c": 3} {
+		if got, ok := fresh.Get(key); !ok || got != want {
+			t.Errorf("restored %q = %d (ok=%v), want %d", key, got, ok, want)
+		}
+	}
+	// Recency must survive: with capacity 2 the next Put should evict "b".
+	tiny := NewCache[int](2)
+	tiny.Restore(keys[1:], vals[1:]) // c, a
+	tiny.Put("d", 4)
+	if _, ok := tiny.Get("c"); ok {
+		t.Error("LRU entry should have been evicted after restore+put")
+	}
+	if _, ok := tiny.Get("a"); !ok {
+		t.Error("MRU entry should have survived restore+put")
+	}
+}
+
+func TestCacheClear(t *testing.T) {
+	c := NewCache[string](4)
+	c.Put("x", "y")
+	c.Clear()
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after Clear", c.Len())
+	}
+	if _, ok := c.Get("x"); ok {
+		t.Error("entry survived Clear")
+	}
+	c.Put("x", "z") // the list must still be consistent
+	if got, ok := c.Get("x"); !ok || got != "z" {
+		t.Errorf("post-Clear Put/Get = %q, %v", got, ok)
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	cache := NewCache[string](8)
+	RegisterSnapshot("test.section",
+		func() ([]byte, error) {
+			keys, vals := cache.SnapshotEntries()
+			var out []byte
+			for i := range keys {
+				out = append(out, byte(len(keys[i])))
+				out = append(out, keys[i]...)
+				out = append(out, byte(len(vals[i])))
+				out = append(out, vals[i]...)
+			}
+			return out, nil
+		},
+		func(payload []byte) error {
+			for len(payload) > 0 {
+				kn := int(payload[0])
+				key := string(payload[1 : 1+kn])
+				payload = payload[1+kn:]
+				vn := int(payload[0])
+				cache.Put(key, string(payload[1:1+vn]))
+				payload = payload[1+vn:]
+			}
+			return nil
+		})
+
+	cache.Put("alpha", "1")
+	cache.Put("beta", "22")
+	path := filepath.Join(t.TempDir(), "snap.bin")
+	if err := SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	cache.Clear()
+	if err := LoadSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range map[string]string{"alpha": "1", "beta": "22"} {
+		if got, ok := cache.Get(key); !ok || got != want {
+			t.Errorf("after load, %q = %q (ok=%v), want %q", key, got, ok, want)
+		}
+	}
+}
+
+func TestLoadSnapshotRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage")
+	if err := os.WriteFile(path, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadSnapshot(path); err == nil {
+		t.Error("garbage file should be rejected")
+	}
+	if err := LoadSnapshot(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file should error (callers decide whether that is fatal)")
+	}
+}

@@ -33,7 +33,6 @@ func NewAbstract(numVertices int, generators [][]int) (*AbstractComplex, error) 
 		return nil, fmt.Errorf("topology: negative vertex count %d", numVertices)
 	}
 	norm := make([][]int, 0, len(generators))
-	seen := make(map[string]bool, len(generators))
 	for _, gen := range generators {
 		s, err := normalizeSimplex(gen, numVertices)
 		if err != nil {
@@ -42,12 +41,9 @@ func NewAbstract(numVertices int, generators [][]int) (*AbstractComplex, error) 
 		if len(s) == 0 {
 			continue
 		}
-		key := simplexKey(s)
-		if !seen[key] {
-			seen[key] = true
-			norm = append(norm, s)
-		}
+		norm = append(norm, s)
 	}
+	// maximalSimplexes deduplicates, so generators need no seen-map here.
 	return &AbstractComplex{numVertices: numVertices, facets: maximalSimplexes(norm)}, nil
 }
 
@@ -67,13 +63,30 @@ func normalizeSimplex(gen []int, numVertices int) ([]int, error) {
 	return s, nil
 }
 
-// maximalSimplexes removes every simplex that is a face of another.
+// maximalSimplexes removes duplicates and every simplex that is a face of
+// another. After deduplication a simplex can only be dominated by a strictly
+// larger one, so processing in descending size order lets the containment
+// scan stop at the first equal-or-smaller accepted simplex. Pure inputs
+// (every simplex the same size — pseudospheres, protocol complexes)
+// therefore skip the quadratic scan entirely.
 func maximalSimplexes(simplexes [][]int) [][]int {
-	sort.Slice(simplexes, func(i, j int) bool { return len(simplexes[i]) > len(simplexes[j]) })
-	var out [][]int
+	seen := make(map[string]bool, len(simplexes))
+	uniq := simplexes[:0]
 	for _, s := range simplexes {
+		key := simplexKey(s)
+		if !seen[key] {
+			seen[key] = true
+			uniq = append(uniq, s)
+		}
+	}
+	sort.Slice(uniq, func(i, j int) bool { return len(uniq[i]) > len(uniq[j]) })
+	var out [][]int
+	for _, s := range uniq {
 		dominated := false
 		for _, big := range out {
+			if len(big) <= len(s) {
+				break // out is in descending size order: no later candidate is larger
+			}
 			if isSubset(s, big) {
 				dominated = true
 				break
@@ -202,6 +215,49 @@ func (c *AbstractComplex) Simplexes(dim int) [][]int {
 		}
 	}
 	return out
+}
+
+// SimplexLevels returns the simplexes of every dimension 0..maxDim, each
+// sorted lexicographically (levels above the complex's dimension are empty).
+// One facet walk feeds all levels — callers that need several dimensions
+// (the homology rank loop) previously re-walked the facets once per
+// dimension via Simplexes.
+func (c *AbstractComplex) SimplexLevels(maxDim int) [][][]int {
+	if maxDim < 0 {
+		return nil
+	}
+	arenas := make([][]int, maxDim+2) // indexed by simplex size
+	buf := make([]int, maxDim+1)
+	for _, f := range c.facets {
+		maxSize := len(f)
+		if maxSize > maxDim+1 {
+			maxSize = maxDim + 1
+		}
+		for size := 1; size <= maxSize; size++ {
+			combinationsOf(f, size, buf[:size], 0, 0, func(s []int) {
+				arenas[size] = append(arenas[size], s...)
+			})
+		}
+	}
+	levels := make([][][]int, maxDim+1)
+	for dim := 0; dim <= maxDim; dim++ {
+		size := dim + 1
+		arena := arenas[size]
+		total := len(arena) / size
+		all := make([][]int, total)
+		for i := range all {
+			all[i] = arena[i*size : (i+1)*size : (i+1)*size]
+		}
+		sort.Slice(all, func(i, j int) bool { return lexLess(all[i], all[j]) })
+		out := all[:0]
+		for i, s := range all {
+			if i == 0 || !slices.Equal(s, out[len(out)-1]) {
+				out = append(out, s)
+			}
+		}
+		levels[dim] = out
+	}
+	return levels
 }
 
 func lexLess(a, b []int) bool {

@@ -5,7 +5,35 @@ import (
 	mathbits "math/bits"
 	"slices"
 	"sort"
+	"sync/atomic"
+
+	"ksettop/internal/homology"
 )
+
+// HomologyEngine selects the GF(2) reduction backend behind
+// ReducedBettiNumbers.
+type HomologyEngine int32
+
+const (
+	// EngineSparse is the sharded CSC engine in internal/homology: no
+	// vertex-count or simplex-size caps, block column reduction across the
+	// worker pool. The default.
+	EngineSparse HomologyEngine = iota
+	// EnginePacked is the seed implementation — single-word bit-packed
+	// columns with a dense-column generic fallback — kept as the test
+	// oracle and reachable via the cmds' -engine=packed flag.
+	EnginePacked
+)
+
+var homologyEngine atomic.Int32 // EngineSparse unless overridden
+
+// CurrentHomologyEngine returns the active reduction backend.
+func CurrentHomologyEngine() HomologyEngine { return HomologyEngine(homologyEngine.Load()) }
+
+// SetHomologyEngine switches the reduction backend process-wide. Safe for
+// concurrent use; both backends compute the same Betti numbers, so this
+// only changes performance characteristics and cap behavior.
+func SetHomologyEngine(e HomologyEngine) { homologyEngine.Store(int32(e)) }
 
 // ReducedBettiNumbers computes the reduced Betti numbers β̃_0 … β̃_maxDim of
 // the complex over the field GF(2).
@@ -20,7 +48,27 @@ import (
 // dimensions ≤ k. Checking β̃_0 = … = β̃_k = 0 therefore machine-validates
 // the paper's connectivity claims on concrete instances: a violation would
 // refute the claim outright, agreement corroborates it. See DESIGN.md.
+//
+// The reduction runs on the sparse sharded engine (internal/homology) by
+// default; SetHomologyEngine(EnginePacked) restores the seed oracle path.
 func ReducedBettiNumbers(c *AbstractComplex, maxDim int) ([]int, error) {
+	if maxDim < 0 {
+		return nil, fmt.Errorf("topology: negative homology dimension %d", maxDim)
+	}
+	if c.IsEmpty() {
+		return nil, fmt.Errorf("topology: reduced homology of the empty complex is undefined here")
+	}
+	if CurrentHomologyEngine() == EnginePacked {
+		return ReducedBettiNumbersOracle(c, maxDim)
+	}
+	return homology.ReducedBetti(c, maxDim)
+}
+
+// ReducedBettiNumbersOracle is the seed GF(2) reduction — the bit-packed
+// fast path with a dense-column generic fallback. It is retained as an
+// independent oracle for cross-checking the sparse engine (and as the
+// -engine=packed CLI backend); new callers should use ReducedBettiNumbers.
+func ReducedBettiNumbersOracle(c *AbstractComplex, maxDim int) ([]int, error) {
 	if maxDim < 0 {
 		return nil, fmt.Errorf("topology: negative homology dimension %d", maxDim)
 	}
@@ -31,13 +79,12 @@ func ReducedBettiNumbers(c *AbstractComplex, maxDim int) ([]int, error) {
 		return betti, nil
 	}
 
-	// Generic fallback for complexes too large to bit-pack.
-	// simplexes[q] for q = 0..maxDim+1, each sorted lexicographically —
-	// boundary-face rows are found by binary search, no keyed index needed.
+	// Generic fallback for complexes too large to bit-pack. All levels come
+	// from one facet walk (SimplexLevels); each is sorted lexicographically,
+	// so boundary-face rows are found by binary search, no keyed index.
+	simplexes := c.SimplexLevels(maxDim + 1)
 	counts := make([]int, maxDim+2)
-	simplexes := make([][][]int, maxDim+2)
 	for q := 0; q <= maxDim+1; q++ {
-		simplexes[q] = c.Simplexes(q)
 		counts[q] = len(simplexes[q])
 	}
 
@@ -55,6 +102,14 @@ func ReducedBettiNumbers(c *AbstractComplex, maxDim int) ([]int, error) {
 		betti[q] = kernel - rank[q+1]
 	}
 	return betti, nil
+}
+
+// PackedHomologyCapable reports whether the seed packed fast path can
+// represent a betti computation up to maxDim on this complex — the cap the
+// sparse engine removes. Exposed so reports can label instances that are
+// reachable only through the sparse engine.
+func PackedHomologyCapable(c *AbstractComplex, maxDim int) bool {
+	return packWidth(c.numVertices, maxDim+2) != 0
 }
 
 // packWidth returns the bit width that packs simplexes of up to maxSize
@@ -78,10 +133,7 @@ func reducedBettiPacked(c *AbstractComplex, maxDim int) ([]int, bool) {
 	if width == 0 {
 		return nil, false
 	}
-	levels := make([][]uint64, maxDim+2)
-	for q := 0; q <= maxDim+1; q++ {
-		levels[q] = packedSimplexes(c, q+1, width)
-	}
+	levels := packedLevels(c, maxDim+2, width)
 	rank := make([]int, maxDim+2)
 	rank[0] = 1
 	for q := 1; q <= maxDim+1; q++ {
@@ -95,25 +147,31 @@ func reducedBettiPacked(c *AbstractComplex, maxDim int) ([]int, bool) {
 	return betti, true
 }
 
-// packedSimplexes returns the distinct size-vertex simplexes of c as sorted
-// packed keys.
-func packedSimplexes(c *AbstractComplex, size, width int) []uint64 {
-	var keys []uint64
-	buf := make([]int, size)
+// packedLevels returns the distinct simplexes of every size 1..maxSize as
+// sorted packed keys, indexed by size−1, from a single facet walk.
+func packedLevels(c *AbstractComplex, maxSize, width int) [][]uint64 {
+	levels := make([][]uint64, maxSize)
+	buf := make([]int, maxSize)
 	for _, f := range c.facets {
-		if len(f) < size {
-			continue
+		top := len(f)
+		if top > maxSize {
+			top = maxSize
 		}
-		combinationsOf(f, size, buf, 0, 0, func(s []int) {
-			var key uint64
-			for i, v := range s {
-				key |= uint64(v) << uint(64-width*(i+1))
-			}
-			keys = append(keys, key)
-		})
+		for size := 1; size <= top; size++ {
+			combinationsOf(f, size, buf[:size], 0, 0, func(s []int) {
+				var key uint64
+				for i, v := range s {
+					key |= uint64(v) << uint(64-width*(i+1))
+				}
+				levels[size-1] = append(levels[size-1], key)
+			})
+		}
 	}
-	slices.Sort(keys)
-	return slices.Compact(keys)
+	for i := range levels {
+		slices.Sort(levels[i])
+		levels[i] = slices.Compact(levels[i])
+	}
+	return levels
 }
 
 // packedBoundaryRank is boundaryRank over packed levels: the face omitting

@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"ksettop/internal/homology"
 )
 
 func bettisOf(t *testing.T, n int, gens [][]int, maxDim int) []int {
@@ -206,6 +208,103 @@ func TestQuickConeIsAcyclic(t *testing.T) {
 	}
 	if err := quick.Check(prop, cfg); err != nil {
 		t.Errorf("cone acyclicity failed: %v", err)
+	}
+}
+
+// genericBetti drives the oracle's generic [][]int machinery directly
+// (ReducedBettiNumbersOracle would itself pick the packed path on small
+// complexes).
+func genericBetti(c *AbstractComplex, maxDim int) []int {
+	simplexes := c.SimplexLevels(maxDim + 1)
+	rank := make([]int, maxDim+2)
+	rank[0] = 1
+	for q := 1; q <= maxDim+1; q++ {
+		rank[q] = boundaryRank(simplexes[q], simplexes[q-1])
+	}
+	betti := make([]int, maxDim+1)
+	for q := 0; q <= maxDim; q++ {
+		betti[q] = len(simplexes[q]) - rank[q] - rank[q+1]
+	}
+	return betti
+}
+
+// TestSparsePackedGenericCrossCheck fuzzes deterministically-seeded random
+// complexes on ≤ 6 vertices and requires the sparse engine, the bit-packed
+// fast path and the generic fallback to produce identical Betti vectors in
+// every dimension — the three implementations share no reduction code.
+func TestSparsePackedGenericCrossCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(20200613))
+	for trial := 0; trial < 200; trial++ {
+		numVerts := 2 + rng.Intn(5) // 2..6
+		numGens := 1 + rng.Intn(6)
+		var gens [][]int
+		for i := 0; i < numGens; i++ {
+			size := 1 + rng.Intn(numVerts)
+			s := make([]int, size)
+			for j := range s {
+				s[j] = rng.Intn(numVerts)
+			}
+			gens = append(gens, s)
+		}
+		c, err := NewAbstract(numVerts, gens)
+		if err != nil || c.IsEmpty() {
+			continue
+		}
+		maxDim := c.Dimension()
+		sparse, err := homology.ReducedBetti(c, maxDim)
+		if err != nil {
+			t.Fatalf("trial %d: sparse: %v", trial, err)
+		}
+		packed, ok := reducedBettiPacked(c, maxDim)
+		if !ok {
+			t.Fatalf("trial %d: packed path rejected a %d-vertex complex", trial, numVerts)
+		}
+		generic := genericBetti(c, maxDim)
+		for q := 0; q <= maxDim; q++ {
+			if sparse[q] != packed[q] || sparse[q] != generic[q] {
+				t.Errorf("trial %d (gens %v): dim %d: sparse %d, packed %d, generic %d",
+					trial, gens, q, sparse[q], packed[q], generic[q])
+			}
+		}
+	}
+}
+
+// TestEngineSwitch pins that both engine settings answer through
+// ReducedBettiNumbers and agree.
+func TestEngineSwitch(t *testing.T) {
+	defer SetHomologyEngine(EngineSparse)
+	circle := mustAbstract(t, 3, [][]int{{0, 1}, {1, 2}, {0, 2}})
+	want := []int{0, 1}
+	for _, e := range []HomologyEngine{EngineSparse, EnginePacked} {
+		SetHomologyEngine(e)
+		if got := CurrentHomologyEngine(); got != e {
+			t.Fatalf("CurrentHomologyEngine = %v, want %v", got, e)
+		}
+		betti, err := ReducedBettiNumbers(circle, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := range want {
+			if betti[q] != want[q] {
+				t.Errorf("engine %v: β̃_%d = %d, want %d", e, q, betti[q], want[q])
+			}
+		}
+	}
+}
+
+// TestPackedHomologyCapable pins the cap the sparse engine removes.
+func TestPackedHomologyCapable(t *testing.T) {
+	small := mustAbstract(t, 4, [][]int{{0, 1, 2, 3}})
+	if !PackedHomologyCapable(small, 2) {
+		t.Error("4-vertex complex should be packable at maxDim 2")
+	}
+	var wide []int
+	for v := 0; v < 10; v++ {
+		wide = append(wide, v)
+	}
+	c := mustAbstract(t, 10, [][]int{wide})
+	if PackedHomologyCapable(c, 8) {
+		t.Error("10-vertex simplex at maxDim 8 needs 10-vertex levels; packed path should reject")
 	}
 }
 

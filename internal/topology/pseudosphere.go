@@ -135,6 +135,47 @@ func (ps *Pseudosphere[V]) Facets(f func(Simplex[V]) bool) {
 	}
 }
 
+// PseudosphereComplex materializes φ(Π; V_1,…,V_n) with |V_i| = views[i]
+// anonymous views as an abstract complex: vertex (color c, view v) gets id
+// offset(c)+v and the facets are every one-view-per-color choice. The result
+// is the join of n discrete point sets — (n−2)-connected with
+// β̃_{n−1} = Π(views[i]−1) — which makes it the standard scale/correctness
+// instance for the homology engines (benchmarks, race tests).
+func PseudosphereComplex(views []int) (*AbstractComplex, error) {
+	offsets := make([]int, len(views)+1)
+	for i, v := range views {
+		if v < 1 {
+			return nil, fmt.Errorf("topology: pseudosphere color %d has %d views", i, v)
+		}
+		offsets[i+1] = offsets[i] + v
+	}
+	if len(views) == 0 {
+		return NewAbstract(0, nil)
+	}
+	choice := make([]int, len(views))
+	facets := make([][]int, 0, 64)
+	for {
+		f := make([]int, len(views))
+		for c := range views {
+			f[c] = offsets[c] + choice[c]
+		}
+		facets = append(facets, f)
+		i := len(views) - 1
+		for i >= 0 {
+			choice[i]++
+			if choice[i] < views[i] {
+				break
+			}
+			choice[i] = 0
+			i--
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return NewAbstract(offsets[len(views)], facets)
+}
+
 // ToComplex materializes the pseudosphere as a colored complex.
 func (ps *Pseudosphere[V]) ToComplex() *Complex[V] {
 	c := NewComplex[V]()

@@ -7,15 +7,18 @@ import (
 	"ksettop/internal/combinat"
 	"ksettop/internal/graph"
 	"ksettop/internal/model"
+	"ksettop/internal/par"
 	"ksettop/internal/protocol"
+	"ksettop/internal/topology"
 )
 
 // TestConcurrentSweepsRaceFree hammers the sharded engine from several
 // client goroutines at once: DistributedDominationNumber (par fan-out over
 // combination shards) concurrently with SolveOneRound (hash-interned view
-// build) and SymClosure (sharded permutation sweep). Run under -race (the CI
-// does) this pins the engine's only shared state to its atomics; it also
-// checks every result against the single-client answer.
+// build), SymClosure (sharded permutation sweep) and ReducedBettiNumbers
+// (block-sharded GF(2) column reduction). Run under -race (the CI does)
+// this pins the engine's only shared state to its atomics; it also checks
+// every result against the single-client answer.
 func TestConcurrentSweepsRaceFree(t *testing.T) {
 	m, err := model.UnionOfStarsModel(6, 2)
 	if err != nil {
@@ -44,11 +47,23 @@ func TestConcurrentSweepsRaceFree(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// A 7-color × 3-view pseudosphere: the dim-5 level has C(7,6)·3^6 =
+	// 5103 simplexes, above the par engine's inline threshold, so with the
+	// pinned worker count the ∂_5 block reduction genuinely fans out — four
+	// clients interleave the sharded reduction, the level builders and the
+	// other sweeps on the same pool. Join of 7 discrete sets: β̃_0..β̃_4 = 0.
+	par.SetParallelism(4)
+	defer par.SetParallelism(0)
+	psComplex, err := topology.PseudosphereComplex([]int{3, 3, 3, 3, 3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
 	const clients = 4
 	var wg sync.WaitGroup
-	errs := make(chan error, clients*3)
+	errs := make(chan error, clients*4)
 	for c := 0; c < clients; c++ {
-		wg.Add(3)
+		wg.Add(4)
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 3; i++ {
@@ -84,6 +99,21 @@ func TestConcurrentSweepsRaceFree(t *testing.T) {
 			}
 			if len(closure) != 21 {
 				t.Errorf("concurrent SymClosure has %d graphs, want 21", len(closure))
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2; i++ {
+				betti, err := topology.ReducedBettiNumbers(psComplex, 4)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for q, b := range betti {
+					if b != 0 {
+						t.Errorf("concurrent homology: β̃_%d = %d, want 0", q, b)
+					}
+				}
 			}
 		}()
 	}
