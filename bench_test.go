@@ -345,6 +345,55 @@ func BenchmarkDecisionMapSolver(b *testing.B) {
 	}
 }
 
+func BenchmarkSolveOneRoundParallel(b *testing.B) {
+	// The n=4 star-closure impossibility with the probe limit forced low,
+	// so the full work-stealing pipeline runs: decomposition into ~64
+	// value-branch prefixes, the shared task deque, per-task conflict
+	// learning and the rank-ordered reduction. Results (including node
+	// statistics) are pinned identical at every -parallelism setting.
+	m, err := model.NonEmptyKernelModel(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	all, err := m.AllGraphs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	protocol.SetSearchProbeLimit(16)
+	defer protocol.SetSearchProbeLimit(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := protocol.SolveOneRound(all, 4, 3, 50_000_000)
+		if err != nil || res.Solvable || res.Stats.Tasks == 0 {
+			b.Fatalf("solvable=%v tasks=%d err=%v, want work-stealing impossibility run",
+				res.Solvable, res.Stats.Tasks, err)
+		}
+	}
+}
+
+func BenchmarkSolveOneRoundSeqCapped(b *testing.B) {
+	// The sequential-oracle baseline on the SAME instance, capped at 100k
+	// nodes (which it always exhausts — the honest chronological search
+	// needs millions of nodes here, while the learning engine above
+	// refutes the instance outright in a few hundred). This tracks the
+	// oracle's per-node cost and documents the engine gap in the snapshot.
+	m, err := model.NonEmptyKernelModel(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	all, err := m.AllGraphs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := protocol.SolveOneRoundEngine(all, 4, 3, 100_000, protocol.SearchSeq)
+		if err == nil || res.Solvable {
+			b.Fatalf("want the oracle to exhaust its 100k-node cap, got solvable=%v err=%v", res.Solvable, err)
+		}
+	}
+}
+
 func BenchmarkSolveOneRoundClosure(b *testing.B) {
 	// The n=4 star-closure impossibility (1695 graphs × 256 assignments):
 	// the sharded assignments × lists sweep plus the flat search tables.

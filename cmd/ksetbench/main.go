@@ -67,9 +67,17 @@ func run() error {
 	memoFlag := flag.String("memo", "on", cli.MemoFlagUsage)
 	against := flag.String("against", "", "previous snapshot to compare against (fails on regression)")
 	regress := flag.Float64("regress", 0.25, "allowed fractional ns/op regression vs -against")
+	searchFlag := flag.String("search", "parallel", cli.SearchFlagUsage)
+	solverBudget := flag.Int("solver-budget", 0, cli.SolverBudgetFlagUsage)
 	flag.Parse()
 	par.SetParallelism(*parallelism)
 	if err := cli.ApplyMemoFlag(*memoFlag); err != nil {
+		return err
+	}
+	if err := cli.ApplySearchFlag(*searchFlag); err != nil {
+		return err
+	}
+	if err := cli.ApplySolverBudgetFlag(*solverBudget); err != nil {
 		return err
 	}
 
@@ -300,9 +308,53 @@ func benches() []bench {
 			}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				res, err := protocol.SolveOneRound(all, 3, 2, 50_000_000)
+				res, err := protocol.SolveOneRound(all, 3, 2, protocol.DefaultNodeBudget())
 				if err != nil || res.Solvable {
 					b.Fatalf("solvable=%v err=%v, want impossibility", res.Solvable, err)
+				}
+			}
+		}},
+		{"SolveOneRoundParallel", func(b *testing.B) {
+			// The n=4 star-closure impossibility with the probe limit
+			// forced low: the full work-stealing pipeline (decomposition,
+			// shared task deque, per-task conflict learning, rank-ordered
+			// reduction) does the refutation.
+			m, err := model.NonEmptyKernelModel(4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			all, err := m.AllGraphs()
+			if err != nil {
+				b.Fatal(err)
+			}
+			protocol.SetSearchProbeLimit(16)
+			defer protocol.SetSearchProbeLimit(0)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := protocol.SolveOneRound(all, 4, 3, protocol.DefaultNodeBudget())
+				if err != nil || res.Solvable || res.Stats.Tasks == 0 {
+					b.Fatalf("solvable=%v tasks=%d err=%v, want work-stealing impossibility run",
+						res.Solvable, res.Stats.Tasks, err)
+				}
+			}
+		}},
+		{"SolveOneRoundSeqCapped", func(b *testing.B) {
+			// The sequential-oracle baseline on the same instance, capped
+			// at 100k nodes (always exhausted): tracks the oracle's
+			// per-node cost and records the engine gap in the snapshot.
+			m, err := model.NonEmptyKernelModel(4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			all, err := m.AllGraphs()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := protocol.SolveOneRoundEngine(all, 4, 3, 100_000, protocol.SearchSeq)
+				if err == nil || res.Solvable {
+					b.Fatalf("want the oracle to exhaust its 100k-node cap, got solvable=%v err=%v", res.Solvable, err)
 				}
 			}
 		}},
@@ -321,7 +373,7 @@ func benches() []bench {
 			}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				res, err := protocol.SolveOneRound(all, 4, 3, 50_000_000)
+				res, err := protocol.SolveOneRound(all, 4, 3, protocol.DefaultNodeBudget())
 				if err != nil || res.Solvable {
 					b.Fatalf("solvable=%v err=%v, want impossibility", res.Solvable, err)
 				}

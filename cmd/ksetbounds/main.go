@@ -19,6 +19,7 @@ import (
 	"ksettop/internal/cli"
 	"ksettop/internal/core"
 	"ksettop/internal/par"
+	"ksettop/internal/protocol"
 )
 
 func main() {
@@ -34,9 +35,21 @@ func run() error {
 	verify := flag.Bool("verify", false, "re-check the one-round bounds mechanically")
 	parallelism := flag.Int("parallelism", 0, "worker-pool size (0 = KSETTOP_PARALLELISM or GOMAXPROCS)")
 	memoFlag := flag.String("memo", "on", cli.MemoFlagUsage)
+	searchFlag := flag.String("search", "parallel", cli.SearchFlagUsage)
+	solverBudget := flag.Int("solver-budget", 0, cli.SolverBudgetFlagUsage)
+	memoSnapshot := flag.String("memo-snapshot", "", cli.MemoSnapshotUsage)
 	flag.Parse()
 	par.SetParallelism(*parallelism)
 	if err := cli.ApplyMemoFlag(*memoFlag); err != nil {
+		return err
+	}
+	if err := cli.ApplySearchFlag(*searchFlag); err != nil {
+		return err
+	}
+	if err := cli.ApplySolverBudgetFlag(*solverBudget); err != nil {
+		return err
+	}
+	if err := cli.LoadMemoSnapshot(*memoSnapshot); err != nil {
 		return err
 	}
 
@@ -51,7 +64,7 @@ func run() error {
 	fmt.Print(a.Render())
 
 	if !*verify {
-		return nil
+		return cli.SaveMemoSnapshot(*memoSnapshot)
 	}
 	up, err := core.BestUpperOneRound(m)
 	if err != nil {
@@ -69,11 +82,11 @@ func run() error {
 	}
 	if lo.K < 1 {
 		fmt.Println("verify lower: vacuous (k = 0), nothing to check")
-		return nil
+		return cli.SaveMemoSnapshot(*memoSnapshot)
 	}
 	fmt.Printf("verify lower %d-set by decision-map search: ", lo.K)
 	if m.N() <= 4 {
-		if err := core.VerifyLowerBySolver(m, lo, 50_000_000); err != nil {
+		if err := core.VerifyLowerBySolver(m, lo, protocol.DefaultNodeBudget()); err != nil {
 			fmt.Println("FAIL:", err)
 		} else {
 			fmt.Println("ok")
@@ -91,5 +104,5 @@ func run() error {
 	} else {
 		fmt.Println("skipped (n > 3)")
 	}
-	return nil
+	return cli.SaveMemoSnapshot(*memoSnapshot)
 }

@@ -1,5 +1,5 @@
 // Command ksetexperiments regenerates every table and figure reproduction
-// indexed in DESIGN.md (E1–E12) and prints them as plain-text tables — the
+// indexed in DESIGN.md (E1–E16) and prints them as plain-text tables — the
 // source of record for EXPERIMENTS.md.
 //
 // Usage:
@@ -39,12 +39,20 @@ func run() error {
 	memoFlag := flag.String("memo", "on", cli.MemoFlagUsage)
 	engineFlag := flag.String("engine", "sparse", cli.EngineFlagUsage)
 	memoSnapshot := flag.String("memo-snapshot", "", cli.MemoSnapshotUsage)
+	searchFlag := flag.String("search", "parallel", cli.SearchFlagUsage)
+	solverBudget := flag.Int("solver-budget", 0, cli.SolverBudgetFlagUsage)
 	flag.Parse()
 	par.SetParallelism(*parallelism)
 	if err := cli.ApplyMemoFlag(*memoFlag); err != nil {
 		return err
 	}
 	if err := cli.ApplyEngineFlag(*engineFlag); err != nil {
+		return err
+	}
+	if err := cli.ApplySearchFlag(*searchFlag); err != nil {
+		return err
+	}
+	if err := cli.ApplySolverBudgetFlag(*solverBudget); err != nil {
 		return err
 	}
 	if err := cli.LoadMemoSnapshot(*memoSnapshot); err != nil {

@@ -40,9 +40,13 @@ func run() error {
 	limit := flag.Int("limit", 4_000_000, "execution budget for -mode worst")
 	parallelism := flag.Int("parallelism", 0, "worker-pool size (0 = KSETTOP_PARALLELISM or GOMAXPROCS)")
 	memoFlag := flag.String("memo", "on", cli.MemoFlagUsage)
+	memoSnapshot := flag.String("memo-snapshot", "", cli.MemoSnapshotUsage)
 	flag.Parse()
 	par.SetParallelism(*parallelism)
 	if err := cli.ApplyMemoFlag(*memoFlag); err != nil {
+		return err
+	}
+	if err := cli.LoadMemoSnapshot(*memoSnapshot); err != nil {
 		return err
 	}
 
@@ -66,7 +70,10 @@ func run() error {
 		fmt.Printf("executions swept: %d (generator adversary)\n", res.Executions)
 		fmt.Printf("worst-case distinct decisions: %d\n", res.WorstDistinct)
 		fmt.Println("worst execution:")
-		return printExecution(res.Witness, algo)
+		if err := printExecution(res.Witness, algo); err != nil {
+			return err
+		}
+		return cli.SaveMemoSnapshot(*memoSnapshot)
 	case "random":
 		rng := rand.New(rand.NewSource(*seed))
 		adv := &protocol.RandomAdversary{Gens: m.Generators(), ExtraProb: 0.3, Rng: rng}
@@ -78,7 +85,10 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		return printExecution(e, algo)
+		if err := printExecution(e, algo); err != nil {
+			return err
+		}
+		return cli.SaveMemoSnapshot(*memoSnapshot)
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}

@@ -37,12 +37,16 @@ func run() error {
 	memoFlag := flag.String("memo", "on", cli.MemoFlagUsage)
 	engineFlag := flag.String("engine", "sparse", cli.EngineFlagUsage)
 	memoSnapshot := flag.String("memo-snapshot", "", cli.MemoSnapshotUsage)
+	solverBudget := flag.Int("solver-budget", 0, cli.SolverBudgetFlagUsage)
 	flag.Parse()
 	par.SetParallelism(*parallelism)
 	if err := cli.ApplyMemoFlag(*memoFlag); err != nil {
 		return err
 	}
 	if err := cli.ApplyEngineFlag(*engineFlag); err != nil {
+		return err
+	}
+	if err := cli.ApplySolverBudgetFlag(*solverBudget); err != nil {
 		return err
 	}
 	if err := cli.LoadMemoSnapshot(*memoSnapshot); err != nil {

@@ -26,7 +26,7 @@ func main() {
 				if err != nil {
 					log.Fatal(err)
 				}
-				if err := ksettop.VerifyLowerBySolver(m, lower, 50_000_000); err != nil {
+				if err := ksettop.VerifyLowerBySolver(m, lower, ksettop.DefaultNodeBudget()); err != nil {
 					solver = "FAIL: " + err.Error()
 				} else {
 					solver = "verified"

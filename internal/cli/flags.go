@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"ksettop/internal/memo"
+	"ksettop/internal/protocol"
 	"ksettop/internal/topology"
 )
 
@@ -23,6 +24,37 @@ func ApplyEngineFlag(value string) error {
 	default:
 		return fmt.Errorf("cli: -engine=%q, want sparse or packed", value)
 	}
+	return nil
+}
+
+// SearchFlagUsage is the shared help text of the -search flag.
+const SearchFlagUsage = "solver search engine: parallel (work-stealing learning engine) | seq (sequential oracle)"
+
+// ApplySearchFlag interprets the shared -search flag value and switches the
+// process-wide decision-map search engine.
+func ApplySearchFlag(value string) error {
+	switch strings.ToLower(value) {
+	case "parallel":
+		protocol.SetSearchEngine(protocol.SearchParallel)
+	case "seq":
+		protocol.SetSearchEngine(protocol.SearchSeq)
+	default:
+		return fmt.Errorf("cli: -search=%q, want parallel or seq", value)
+	}
+	return nil
+}
+
+// SolverBudgetFlagUsage is the shared help text of the -solver-budget flag.
+const SolverBudgetFlagUsage = "node budget for decision-map searches (0 = stock 50M)"
+
+// ApplySolverBudgetFlag sets the process-wide default solver node budget
+// used by every verification and experiment that does not take an explicit
+// budget (0 restores the stock value).
+func ApplySolverBudgetFlag(n int) error {
+	if n < 0 {
+		return fmt.Errorf("cli: -solver-budget=%d must be ≥ 0", n)
+	}
+	protocol.SetDefaultNodeBudget(n)
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"ksettop/internal/graph"
 	"ksettop/internal/memo"
+	"ksettop/internal/protocol"
 	"ksettop/internal/topology"
 )
 
@@ -84,5 +85,43 @@ func TestSaveMemoSnapshotSkippedWhileDisabled(t *testing.T) {
 	}
 	if !after.ModTime().Equal(before.ModTime()) || after.Size() != before.Size() {
 		t.Error("disabled-memo run rewrote the snapshot file")
+	}
+}
+
+func TestApplySearchFlag(t *testing.T) {
+	defer protocol.SetSearchEngine(protocol.SearchParallel)
+	if err := ApplySearchFlag("seq"); err != nil {
+		t.Fatal(err)
+	}
+	if got := protocol.CurrentSearchEngine(); got != protocol.SearchSeq {
+		t.Errorf("engine = %v, want seq", got)
+	}
+	if err := ApplySearchFlag("PARALLEL"); err != nil {
+		t.Fatal(err)
+	}
+	if got := protocol.CurrentSearchEngine(); got != protocol.SearchParallel {
+		t.Errorf("engine = %v, want parallel", got)
+	}
+	if err := ApplySearchFlag("portfolio"); err == nil {
+		t.Error("unknown engine should be rejected")
+	}
+}
+
+func TestApplySolverBudgetFlag(t *testing.T) {
+	defer protocol.SetDefaultNodeBudget(0)
+	if err := ApplySolverBudgetFlag(1234); err != nil {
+		t.Fatal(err)
+	}
+	if got := protocol.DefaultNodeBudget(); got != 1234 {
+		t.Errorf("budget = %d, want 1234", got)
+	}
+	if err := ApplySolverBudgetFlag(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := protocol.DefaultNodeBudget(); got != 50_000_000 {
+		t.Errorf("budget = %d, want the stock 50M", got)
+	}
+	if err := ApplySolverBudgetFlag(-1); err == nil {
+		t.Error("negative budget should be rejected")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"ksettop/internal/core"
 	"ksettop/internal/graph"
 	"ksettop/internal/model"
+	"ksettop/internal/protocol"
 )
 
 // E5SimpleBounds reproduces the simple closed-above characterization
@@ -67,7 +68,7 @@ func E5SimpleBounds() (*Table, error) {
 			} else {
 				simStatus = "ok"
 			}
-			if err := core.VerifyLowerBySolver(m, lo, 20_000_000); err != nil {
+			if err := core.VerifyLowerBySolver(m, lo, protocol.DefaultNodeBudget()); err != nil {
 				solverStatus = "FAIL: " + err.Error()
 			} else {
 				solverStatus = "ok"
@@ -201,7 +202,7 @@ func E7GeneralLower() (*Table, error) {
 		}
 		solverStatus, topoStatus := "skipped", "skipped"
 		if c.solver {
-			if err := core.VerifyLowerBySolver(m, lo, 50_000_000); err != nil {
+			if err := core.VerifyLowerBySolver(m, lo, protocol.DefaultNodeBudget()); err != nil {
 				solverStatus = "FAIL: " + err.Error()
 			} else {
 				solverStatus = "ok"

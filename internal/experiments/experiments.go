@@ -1,5 +1,5 @@
 // Package experiments regenerates every figure and worked example in the
-// paper's evaluation-bearing sections, as indexed in DESIGN.md (E1–E12).
+// paper's evaluation-bearing sections, as indexed in DESIGN.md (E1–E16).
 // Each experiment returns a Table whose rows state the paper's claim next to
 // the measured value; EXPERIMENTS.md is the recorded output.
 package experiments
@@ -148,6 +148,7 @@ func All() []Runner {
 		{"E13", E13TournamentGap},
 		{"E14", E14StarUnions7},
 		{"E15", E15RandomClosedAbove},
+		{"E16", E16RoundProducts},
 	}
 }
 

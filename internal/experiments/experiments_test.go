@@ -58,7 +58,7 @@ func TestRunAllDeterministicAcrossParallelism(t *testing.T) {
 	var subset []Runner
 	for _, r := range All() {
 		switch r.ID {
-		case "E7", "E9", "E10", "E11", "E14":
+		case "E7", "E9", "E10", "E11", "E14", "E16":
 			subset = append(subset, r)
 		}
 	}

@@ -230,7 +230,7 @@ func E10StarUnions() (*Table, error) {
 			}
 			genericStatus = check(gu.K == up.K && gl.K == lo.K)
 			if c.n <= 4 && lo.K >= 1 {
-				if err := core.VerifyLowerBySolver(m, core.LowerBound{K: lo.K, Rounds: 1, Theorem: lo.Theorem}, 50_000_000); err != nil {
+				if err := core.VerifyLowerBySolver(m, core.LowerBound{K: lo.K, Rounds: 1, Theorem: lo.Theorem}, protocol.DefaultNodeBudget()); err != nil {
 					solverStatus = "FAIL: " + err.Error()
 				} else {
 					solverStatus = "ok"

@@ -50,13 +50,13 @@ func E13TournamentGap() (*Table, error) {
 	}
 	t.AddRow("model closure size", len(all), "27 (= 3 states per pair)", check(len(all) == 27))
 
-	res2, err := protocol.SolveOneRound(all, 3, 2, 50_000_000)
+	res2, err := protocol.SolveOneRound(all, 3, 2, protocol.DefaultNodeBudget())
 	if err != nil {
 		return nil, err
 	}
 	t.AddRow("2-set solvable by ANY oblivious map (exhaustive)", res2.Solvable, "false", check(!res2.Solvable))
 
-	res3, err := protocol.SolveOneRound(all, 2, 3, 50_000_000)
+	res3, err := protocol.SolveOneRound(all, 2, 3, protocol.DefaultNodeBudget())
 	if err != nil {
 		return nil, err
 	}

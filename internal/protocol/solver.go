@@ -2,27 +2,41 @@ package protocol
 
 import (
 	"fmt"
-	mathbits "math/bits"
-	"slices"
 
 	"ksettop/internal/bits"
 	"ksettop/internal/graph"
 	"ksettop/internal/par"
 )
 
+// This file is the entry layer of the decision-map solver. The engine is
+// layered across four files:
+//
+//	solver.go          input validation, table-build orchestration, engine
+//	                   dispatch (SolveOneRound)
+//	solver_tables.go   interning sweeps and flat search tables
+//	solver_state.go    backtracking state + nogood store
+//	solver_search.go   sequential oracle and learning DFS
+//	solver_parallel.go probe / decompose / work-steal / reduce engine
+//	                   and the SetSearchEngine / DefaultNodeBudget config
+
 // SolveResult is the outcome of an exhaustive decision-map search.
 type SolveResult struct {
 	// Solvable reports whether some oblivious one-round decision map solves
 	// k-set agreement over the swept executions.
 	Solvable bool
-	// Map holds a solving decision map when Solvable.
+	// Map holds a solving decision map when Solvable. Both engines return
+	// the lexicographically-first witness under the shared branch order, so
+	// the map is identical across engines and parallelism settings.
 	Map *DecisionMap
 	// Views is the number of distinct flattened views.
 	Views int
 	// Executions is the number of constraint executions.
 	Executions int
-	// Nodes is the number of search nodes explored.
+	// Nodes is the number of search nodes explored, under the active
+	// engine's deterministic accounting (identical for every -parallelism).
 	Nodes int
+	// Stats details the parallel engine's per-phase accounting.
+	Stats SearchStats
 }
 
 // SolveOneRound decides, by exhaustive search over all oblivious decision
@@ -49,13 +63,22 @@ type SolveResult struct {
 // exactly this one-round question on S^r.
 //
 // The assignments × graphs constraint sweep is sharded across the par
-// worker pool with per-shard intern tables, merged in shard order, so the
-// view/constraint universe — and therefore the search result — is identical
-// to a sequential sweep for every parallelism setting.
+// worker pool with per-shard intern tables, merged in shard order, and the
+// search phase runs on the engine selected by SetSearchEngine — by default
+// the work-stealing learning engine, whose rank-ordered reduction keeps the
+// whole SolveResult identical to a sequential run of the same engine for
+// every parallelism setting (see solver_parallel.go).
 //
 // The search is exponential; nodeBudget bounds explored nodes (error when
 // exhausted).
 func SolveOneRound(roundGraphs []graph.Digraph, numValues, k, nodeBudget int) (SolveResult, error) {
+	return SolveOneRoundEngine(roundGraphs, numValues, k, nodeBudget, CurrentSearchEngine())
+}
+
+// SolveOneRoundEngine is SolveOneRound pinned to an explicit search engine,
+// for callers (cross-checks, experiments) that must not flip the
+// process-wide SetSearchEngine state under concurrent solves.
+func SolveOneRoundEngine(roundGraphs []graph.Digraph, numValues, k, nodeBudget int, engine SearchEngine) (SolveResult, error) {
 	if len(roundGraphs) == 0 {
 		return SolveResult{}, fmt.Errorf("protocol: no graphs to solve over")
 	}
@@ -151,486 +174,29 @@ func SolveOneRound(roundGraphs []graph.Digraph, numValues, k, nodeBudget int) (S
 		return res, fmt.Errorf("protocol: solver supports ≤16 values, got %d", numValues)
 	}
 
-	// Flat, pointer-free search tables: execViews shares the constraint
-	// arena, viewExecs is CSR over one backing array, and the per-execution
-	// value counts live in a single flat slice — the search state stays off
-	// the garbage collector's scan list.
-	numCons := constraints.count()
-	execViews := make([][]int32, numCons)
-	for c := range execViews {
-		execViews[c] = constraints.get(int32(c))
-	}
-	veStarts := make([]int32, len(views.views)+1)
-	for _, ids := range execViews {
-		for _, id := range ids {
-			veStarts[id+1]++
+	t := assembleTables(k, numValues, views, constraints)
+	switch engine {
+	case SearchSeq:
+		s := newCSPState(t, nil, nil)
+		solved, err := s.searchSeq(&res.Nodes, nodeBudget)
+		if err != nil {
+			return res, err
 		}
-	}
-	for i := 1; i < len(veStarts); i++ {
-		veStarts[i] += veStarts[i-1]
-	}
-	veData := make([]int32, veStarts[len(veStarts)-1])
-	fill := make([]int32, len(views.views))
-	for c, ids := range execViews {
-		for _, id := range ids {
-			veData[veStarts[id]+fill[id]] = int32(c)
-			fill[id]++
+		if solved {
+			res.Solvable = true
+			res.Map = t.decisionMap(s.decided)
 		}
-	}
-
-	s := &cspState{
-		k:         k,
-		numValues: numValues,
-		execViews: execViews,
-		decided:   make([]Value, len(views.views)),
-		domains:   make([]uint16, len(views.views)),
-		counts:    make([]int32, numCons*numValues),
-		distinct:  make([]int32, numCons),
-		valueMask: make([]uint16, numCons),
-		veStarts:  veStarts,
-		veData:    veData,
-	}
-	for i, v := range views.views {
-		s.decided[i] = NoValue
-		var dom uint16
-		for _, val := range v {
-			if val != NoValue {
-				dom |= 1 << uint(val)
-			}
+	default:
+		out, err := solveParallel(t, nodeBudget)
+		res.Nodes = out.nodes
+		res.Stats = out.stats
+		if err != nil {
+			return res, err
 		}
-		s.domains[i] = dom
-	}
-
-	solved, err := s.search(&res.Nodes, nodeBudget)
-	if err != nil {
-		return res, err
-	}
-	if solved {
-		table := make(map[string]Value, len(views.views))
-		for id, v := range views.views {
-			table[ViewKey(v)] = s.decided[id]
+		if out.solved {
+			res.Solvable = true
+			res.Map = t.decisionMap(out.decided)
 		}
-		res.Solvable = true
-		res.Map = &DecisionMap{R: 1, Table: table}
 	}
 	return res, nil
 }
-
-// solveInput is the read-only context of one table-building sweep.
-type solveInput struct {
-	n         int
-	numValues int
-	inSets    []bits.Set
-	execLists [][]int32
-}
-
-// buildSolveTables interns the views and execution constraints of the ranks
-// in [from, to), where rank r denotes assignment r/len(execLists) applied to
-// list r%len(execLists), scanning in ascending rank order. Each worker shard
-// gets its own intern tables; mergeSolveTables stitches them together.
-func buildSolveTables(in solveInput, from, to int64) (*viewIntern, *constraintIntern) {
-	views := newViewIntern(in.n)
-	constraints := newConstraintIntern()
-	if from >= to {
-		return views, constraints
-	}
-	L := int64(len(in.execLists))
-	assignment := make([]Value, in.n)
-	assignmentFromRank(from/L, in.numValues, assignment)
-	viewOfInSet := make([]int32, len(in.inSets))
-	refresh := func() {
-		for s, inSet := range in.inSets {
-			viewOfInSet[s] = views.intern(inSet, assignment)
-		}
-	}
-	refresh()
-	scratch := make([]int32, 0, in.n)
-	li := from % L
-	for r := from; r < to; r++ {
-		ids := scratch[:0]
-		for _, s := range in.execLists[li] {
-			ids = append(ids, viewOfInSet[s])
-		}
-		constraints.insert(sortDedupInt32(ids))
-		li++
-		if li == L {
-			li = 0
-			if r+1 < to {
-				incCounter(assignment, in.numValues)
-				refresh()
-			}
-		}
-	}
-	return views, constraints
-}
-
-// assignmentFromRank writes the rank-th assignment in incCounter order
-// (last index least significant) into assignment.
-func assignmentFromRank(rank int64, numValues int, assignment []Value) {
-	for i := len(assignment) - 1; i >= 0; i-- {
-		assignment[i] = Value(rank % int64(numValues))
-		rank /= int64(numValues)
-	}
-}
-
-// mergeSolveTables folds the per-shard intern tables into one global pair,
-// in shard order. Shards cover contiguous ascending rank ranges, so
-// first-encounter order across the merged shards equals the first-encounter
-// order of a sequential sweep — view ids, constraint ids, and therefore the
-// whole search are byte-identical to the single-shard path.
-func mergeSolveTables(n int, localViews []*viewIntern, localCons []*constraintIntern) (*viewIntern, *constraintIntern) {
-	views := newViewIntern(n)
-	constraints := newConstraintIntern()
-	scratch := make([]int32, 0, n)
-	for s := range localViews {
-		lv, lc := localViews[s], localCons[s]
-		remap := make([]int32, len(lv.views))
-		for id, v := range lv.views {
-			remap[id] = views.internView(v, lv.hashes[id])
-		}
-		for c := 0; c < lc.count(); c++ {
-			ids := lc.get(int32(c))
-			mapped := scratch[:0]
-			for _, id := range ids {
-				mapped = append(mapped, remap[id])
-			}
-			// Remapping is injective, so only the order needs restoring.
-			constraints.insert(sortDedupInt32(mapped))
-		}
-	}
-	return views, constraints
-}
-
-// viewIntern deduplicates flattened views through an open-addressed hash
-// table. Probing compares full view contents, so hash collisions are
-// harmless; a View is allocated only for each DISTINCT view.
-type viewIntern struct {
-	n       int
-	mask    uint64  // table length − 1 (power of two)
-	slots   []int32 // view id + 1, 0 = empty
-	views   []View
-	hashes  []uint64
-	scratch View
-}
-
-func newViewIntern(n int) *viewIntern {
-	const initial = 256
-	return &viewIntern{
-		n:       n,
-		mask:    initial - 1,
-		slots:   make([]int32, initial),
-		scratch: make(View, n),
-	}
-}
-
-// intern flattens (in, assignment) into the scratch view and returns the id
-// of the equal interned view, inserting it first if new.
-func (vi *viewIntern) intern(in bits.Set, assignment []Value) int32 {
-	v := vi.scratch
-	for i := range v {
-		v[i] = NoValue
-	}
-	for t := uint64(in); t != 0; t &= t - 1 {
-		q := mathbits.TrailingZeros64(t)
-		v[q] = assignment[q]
-	}
-	h := bits.Hash64Seed()
-	for _, val := range v {
-		h = bits.Hash64Mix(h, uint64(val+1))
-	}
-	idx := h & vi.mask
-	for {
-		slot := vi.slots[idx]
-		if slot == 0 {
-			break
-		}
-		id := slot - 1
-		if vi.hashes[id] == h && viewsEqual(vi.views[id], v) {
-			return id
-		}
-		idx = (idx + 1) & vi.mask
-	}
-	return vi.insertAt(idx, v.Clone(), h)
-}
-
-// internView interns an already-flattened view with a precomputed hash,
-// taking ownership of v (the merge path hands over shard-local views whose
-// tables are then discarded).
-func (vi *viewIntern) internView(v View, h uint64) int32 {
-	idx := h & vi.mask
-	for {
-		slot := vi.slots[idx]
-		if slot == 0 {
-			break
-		}
-		id := slot - 1
-		if vi.hashes[id] == h && viewsEqual(vi.views[id], v) {
-			return id
-		}
-		idx = (idx + 1) & vi.mask
-	}
-	return vi.insertAt(idx, v, h)
-}
-
-func (vi *viewIntern) insertAt(idx uint64, v View, h uint64) int32 {
-	id := int32(len(vi.views))
-	vi.views = append(vi.views, v)
-	vi.hashes = append(vi.hashes, h)
-	vi.slots[idx] = id + 1
-	if uint64(len(vi.views))*4 > (vi.mask+1)*3 {
-		vi.grow()
-	}
-	return id
-}
-
-func (vi *viewIntern) grow() {
-	vi.mask = (vi.mask+1)*2 - 1
-	vi.slots = make([]int32, vi.mask+1)
-	for id, h := range vi.hashes {
-		idx := h & vi.mask
-		for vi.slots[idx] != 0 {
-			idx = (idx + 1) & vi.mask
-		}
-		vi.slots[idx] = int32(id) + 1
-	}
-}
-
-// constraintIntern is a hash SET of sorted view-id lists, open-addressed
-// like viewIntern, with contents stored in one flat arena.
-type constraintIntern struct {
-	mask   uint64
-	slots  []int32 // constraint index + 1, 0 = empty
-	hashes []uint64
-	arena  []int32
-	offs   []int32 // constraint c = arena[offs[c]:offs[c+1]]
-}
-
-func newConstraintIntern() *constraintIntern {
-	const initial = 256
-	return &constraintIntern{
-		mask:  initial - 1,
-		slots: make([]int32, initial),
-		offs:  []int32{0},
-	}
-}
-
-func (ci *constraintIntern) get(c int32) []int32 {
-	return ci.arena[ci.offs[c]:ci.offs[c+1]]
-}
-
-// count returns the number of interned lists.
-func (ci *constraintIntern) count() int { return len(ci.offs) - 1 }
-
-// insert reports whether ids (sorted, unique) was absent, adding it if so.
-func (ci *constraintIntern) insert(ids []int32) bool {
-	h := bits.Hash64Seed()
-	for _, id := range ids {
-		h = bits.Hash64Mix(h, uint64(id))
-	}
-	idx := h & ci.mask
-	for {
-		slot := ci.slots[idx]
-		if slot == 0 {
-			break
-		}
-		c := slot - 1
-		if ci.hashes[c] == h && slices.Equal(ci.get(c), ids) {
-			return false
-		}
-		idx = (idx + 1) & ci.mask
-	}
-	c := int32(len(ci.offs) - 1)
-	ci.arena = append(ci.arena, ids...)
-	ci.offs = append(ci.offs, int32(len(ci.arena)))
-	ci.hashes = append(ci.hashes, h)
-	ci.slots[idx] = c + 1
-	if uint64(len(ci.hashes))*4 > (ci.mask+1)*3 {
-		ci.grow()
-	}
-	return true
-}
-
-func (ci *constraintIntern) grow() {
-	ci.mask = (ci.mask+1)*2 - 1
-	ci.slots = make([]int32, ci.mask+1)
-	for c, h := range ci.hashes {
-		idx := h & ci.mask
-		for ci.slots[idx] != 0 {
-			idx = (idx + 1) & ci.mask
-		}
-		ci.slots[idx] = int32(c) + 1
-	}
-}
-
-// sortDedupInt32 sorts ids in place (insertion sort; callers pass at most
-// one entry per process) and drops adjacent duplicates.
-func sortDedupInt32(ids []int32) []int32 {
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
-	out := ids[:0]
-	for i, id := range ids {
-		if i == 0 || id != ids[i-1] {
-			out = append(out, id)
-		}
-	}
-	return out
-}
-
-// cspState is the forward-checking backtracking state of the decision-map
-// search. The single inference rule: once an execution has k distinct
-// decided values, every unassigned view in it must decide within that set
-// (its domain intersects the execution's value mask); empty domains prune,
-// singleton domains propagate.
-type cspState struct {
-	k         int
-	numValues int
-	execViews [][]int32
-	decided   []Value
-	domains   []uint16
-	counts    []int32 // flat [execution][value] decision counts
-	distinct  []int32
-	valueMask []uint16 // per execution: values with count > 0
-	// viewExecs in CSR form: view v touches constraint indices
-	// veData[veStarts[v]:veStarts[v+1]], ascending.
-	veStarts []int32
-	veData   []int32
-	trail    []trailEntry
-}
-
-type trailEntry struct {
-	view      int
-	oldDomain uint16
-	assigned  bool // true: undo an assignment; false: restore oldDomain
-}
-
-// viewExecs returns the constraint indices touching view v.
-func (s *cspState) viewExecs(v int) []int32 {
-	return s.veData[s.veStarts[v]:s.veStarts[v+1]]
-}
-
-// assign commits view id to value d and runs propagation. It reports false
-// on conflict; all state changes are recorded on the trail either way.
-func (s *cspState) assign(id int, d Value) bool {
-	queue := [][2]int{{id, int(d)}}
-	for len(queue) > 0 {
-		v, val := queue[0][0], Value(queue[0][1])
-		queue = queue[1:]
-		if s.decided[v] != NoValue {
-			if s.decided[v] != val {
-				return false
-			}
-			continue
-		}
-		if s.domains[v]&(1<<uint(val)) == 0 {
-			return false
-		}
-		s.decided[v] = val
-		s.trail = append(s.trail, trailEntry{view: v, assigned: true})
-		for _, e := range s.viewExecs(v) {
-			c := &s.counts[int(e)*s.numValues+int(val)]
-			*c++
-			if *c > 1 {
-				continue
-			}
-			s.distinct[e]++
-			s.valueMask[e] |= 1 << uint(val)
-			if int(s.distinct[e]) > s.k {
-				return false
-			}
-			if int(s.distinct[e]) < s.k {
-				continue
-			}
-			// Execution e is saturated: restrict its unassigned views.
-			for _, u := range s.execViews[e] {
-				if s.decided[u] != NoValue {
-					continue
-				}
-				nd := s.domains[u] & s.valueMask[e]
-				if nd == s.domains[u] {
-					continue
-				}
-				s.trail = append(s.trail, trailEntry{view: int(u), oldDomain: s.domains[u]})
-				s.domains[u] = nd
-				switch onesCount16(nd) {
-				case 0:
-					return false
-				case 1:
-					queue = append(queue, [2]int{int(u), trailingZeros16(nd)})
-				}
-			}
-		}
-	}
-	return true
-}
-
-// unwind rolls the trail back to the given mark.
-func (s *cspState) unwind(mark int) {
-	for i := len(s.trail) - 1; i >= mark; i-- {
-		t := s.trail[i]
-		if !t.assigned {
-			s.domains[t.view] = t.oldDomain
-			continue
-		}
-		val := s.decided[t.view]
-		s.decided[t.view] = NoValue
-		for _, e := range s.viewExecs(t.view) {
-			c := &s.counts[int(e)*s.numValues+int(val)]
-			*c--
-			if *c == 0 {
-				s.distinct[e]--
-				s.valueMask[e] &^= 1 << uint(val)
-			}
-		}
-	}
-	s.trail = s.trail[:mark]
-}
-
-// search picks the unassigned view with the smallest domain (fail-first) and
-// branches on its values.
-func (s *cspState) search(nodes *int, budget int) (bool, error) {
-	best, bestSize := -1, 17
-	for v, d := range s.decided {
-		if d != NoValue {
-			continue
-		}
-		size := onesCount16(s.domains[v])
-		if size < bestSize {
-			best, bestSize = v, size
-			if size <= 1 {
-				break
-			}
-		}
-	}
-	if best == -1 {
-		return true, nil // all views assigned
-	}
-	if *nodes >= budget {
-		return false, fmt.Errorf("protocol: node budget %d exhausted", budget)
-	}
-	*nodes++
-	dom := s.domains[best]
-	for val := 0; val < s.numValues; val++ {
-		if dom&(1<<uint(val)) == 0 {
-			continue
-		}
-		mark := len(s.trail)
-		if s.assign(best, Value(val)) {
-			ok, err := s.search(nodes, budget)
-			if err != nil {
-				return false, err
-			}
-			if ok {
-				return true, nil
-			}
-		}
-		s.unwind(mark)
-	}
-	return false, nil
-}
-
-func onesCount16(x uint16) int { return mathbits.OnesCount16(x) }
-
-func trailingZeros16(x uint16) int { return mathbits.TrailingZeros16(x) }

@@ -1,0 +1,517 @@
+package protocol
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ksettop/internal/par"
+)
+
+// This file is the parallel engine of the decision-map solver: a sequential
+// learning probe with a restart ladder, a deterministic decomposition of
+// the top of the search tree into value-branch prefixes, a work-stealing
+// sweep of those prefixes over the shared par.Deque, and a rank-ordered
+// reduction that makes the reported SolveResult — Solvable, witness Map,
+// node statistics and budget errors — byte-identical at every parallelism
+// setting.
+//
+// Determinism argument, in deduction order:
+//  1. The probe is sequential and its ladder thresholds are fixed, so its
+//     outcome, node count and learned-clause store are schedule-free.
+//  2. The shared store is frozen before decomposition; decomposition replays
+//     deterministic prefixes against it, so the task list (and prefixNodes)
+//     is schedule-free.
+//  3. Each task searches its subtree with the frozen store plus a PRIVATE
+//     learned store, and splits off sibling prefixes based only on its own
+//     node counter — so every task's node count, learned count, outcome and
+//     spawned children are schedule-free, no matter which worker runs it or
+//     when it is stolen.
+//  4. The reduction consumes task records in lexicographic prefix order and
+//     stops at the first terminal event (witness or budget trip). Tasks at
+//     ranks beyond the current best event are cancelled; by construction
+//     they sort after the chosen event, so cancellation timing can never
+//     change what the reduction sees.
+
+// Engine and budget configuration -------------------------------------------
+
+// SearchEngine selects the backtracking engine behind SolveOneRound.
+type SearchEngine int32
+
+const (
+	// SearchParallel is the work-stealing learning engine (the default).
+	SearchParallel SearchEngine = iota
+	// SearchSeq is the seed sequential backtracking oracle, kept as a
+	// cross-check (-search=seq on the CLIs).
+	SearchSeq
+)
+
+var searchEngine atomic.Int32
+
+// SetSearchEngine switches the process-wide search engine.
+func SetSearchEngine(e SearchEngine) { searchEngine.Store(int32(e)) }
+
+// CurrentSearchEngine reports the process-wide search engine.
+func CurrentSearchEngine() SearchEngine { return SearchEngine(searchEngine.Load()) }
+
+// defaultNodeBudget is the stock search budget CLI tools and experiments
+// use when no -solver-budget is given.
+const defaultNodeBudget = 50_000_000
+
+var nodeBudgetOverride atomic.Int64
+
+// DefaultNodeBudget returns the process-wide default solver node budget
+// (settable via SetDefaultNodeBudget / the -solver-budget flag).
+func DefaultNodeBudget() int {
+	if n := nodeBudgetOverride.Load(); n > 0 {
+		return int(n)
+	}
+	return defaultNodeBudget
+}
+
+// SetDefaultNodeBudget overrides the default solver node budget; n ≤ 0
+// restores the stock value.
+func SetDefaultNodeBudget(n int) {
+	if n < 0 {
+		n = 0
+	}
+	nodeBudgetOverride.Store(int64(n))
+}
+
+// Tuning constants of the parallel engine. These are part of the node
+// accounting: changing them changes Nodes/Stats (deterministically), so
+// they are compile-time constants, with only the probe limit exposed as a
+// knob for tests and benchmarks that need to force the parallel phase on
+// small instances.
+const (
+	// stockProbeLimit bounds the sequential probe phase.
+	stockProbeLimit = 1 << 15
+	// probeLadderBase is the first restart threshold; each restart
+	// quadruples it.
+	probeLadderBase = 1 << 12
+	// maxSharedNogoods bounds the probe's shared clause store.
+	maxSharedNogoods = 1 << 13
+	// maxTaskNogoods bounds each subtree task's private store.
+	maxTaskNogoods = 1 << 11
+	// maxNogoodLen drops clauses longer than this many decisions.
+	maxNogoodLen = 16
+	// targetTasks is how many value-branch prefixes decomposition aims
+	// for. Fixed (NOT derived from Parallelism()) so the task tree — and
+	// with it the node accounting — is identical at every worker count.
+	targetTasks = 64
+	// maxExpansions caps decomposition work when branching is degenerate.
+	maxExpansions = 4 * targetTasks
+	// splitNodeThreshold: a task that has already spent this many nodes
+	// and still faces ≥2 untried value branches along its open frames
+	// hands its whole remaining frontier (the depth-first spine) to the
+	// deque as fresh prefix tasks.
+	splitNodeThreshold = 1 << 10
+)
+
+var probeLimitOverride atomic.Int64
+
+// SetSearchProbeLimit overrides the parallel engine's sequential probe
+// limit (n ≤ 0 restores the stock value). Results remain deterministic
+// across parallelism for any fixed value; node statistics are only
+// comparable between runs using the same limit. Intended for tests and
+// benchmarks that must force the work-stealing phase on small instances.
+func SetSearchProbeLimit(n int) {
+	if n < 0 {
+		n = 0
+	}
+	probeLimitOverride.Store(int64(n))
+}
+
+func probeLimit() int {
+	if n := probeLimitOverride.Load(); n > 0 {
+		return int(n)
+	}
+	return stockProbeLimit
+}
+
+// SearchStats breaks the engine's deterministic node accounting down by
+// phase. All fields are identical for every parallelism setting; under
+// SearchSeq they stay zero (SolveResult.Nodes carries the count).
+type SearchStats struct {
+	// ProbeNodes is the sequential learning probe's node count.
+	ProbeNodes int
+	// PrefixNodes is the decomposition's branch-point count.
+	PrefixNodes int
+	// TaskNodes sums the node counts of the task records the rank-ordered
+	// reduction consumed (every task on an UNSAT instance; tasks up to the
+	// witness on a SAT one).
+	TaskNodes int
+	// Tasks is the number of task records the reduction consumed.
+	Tasks int
+	// SharedNogoods is the frozen store's clause count after the probe.
+	SharedNogoods int
+	// TaskNogoods sums the private clauses learned by consumed tasks.
+	TaskNogoods int
+}
+
+// Probe phase ----------------------------------------------------------------
+
+type probeOutcome struct {
+	status searchStatus // statusSolved | statusRefuted | statusCapped
+	nodes  int
+	state  *cspState // holds the witness assignment when solved
+}
+
+// probe runs the sequential CBJ search under a restart ladder: each
+// attempt's node cap quadruples, conflict clauses persist across restarts
+// in the shared store, and the phase ends when the instance is decided or
+// the probe limit (or the budget, if smaller) is exhausted.
+func probe(t *solveTables, shared *nogoodStore, budget int) probeOutcome {
+	s := newCSPState(t, nil, shared)
+	if !s.propagateFacts() {
+		return probeOutcome{status: statusRefuted, state: s}
+	}
+	if s.selectView() == -1 {
+		// The facts alone complete the assignment.
+		return probeOutcome{status: statusSolved, state: s}
+	}
+	limit := probeLimit()
+	if budget < limit {
+		limit = budget
+	}
+	used := 0
+	ladder := probeLadderBase
+	for {
+		attempt := ladder
+		if rest := limit - used; attempt > rest {
+			attempt = rest
+		}
+		ctx := &cbjCtx{s: s, cap: attempt}
+		st := ctx.run()
+		used += ctx.nodes
+		if st == statusSolved || st == statusRefuted {
+			return probeOutcome{status: st, nodes: used, state: s}
+		}
+		if used >= limit {
+			return probeOutcome{status: statusCapped, nodes: used, state: s}
+		}
+		ladder *= 4
+	}
+}
+
+// Decomposition --------------------------------------------------------------
+
+// searchTask is one unexplored value-branch prefix of the search tree.
+// path is the branch-index route from the root (positions in the static
+// value order at each decision), decisions the corresponding litKeys.
+type searchTask struct {
+	path      []uint8
+	decisions []int32
+}
+
+type taskStatus int8
+
+const (
+	taskCompleted taskStatus = iota // subtree exhaustively refuted
+	taskWitness                     // found its lexicographically-first solution
+	taskBudget                      // tripped the per-task node cap
+	taskCancelled                   // aborted after observing a lower-ranked event
+)
+
+// taskRecord is one task's deterministic outcome.
+type taskRecord struct {
+	path    []uint8
+	nodes   int
+	learned int
+	status  taskStatus
+	decided []Value // witness assignment when status == taskWitness
+}
+
+// decompose splits the top of the search tree into at least targetTasks
+// value-branch prefixes (branching permitting) by breadth-first expansion
+// in branch order. Prefixes that complete the assignment during expansion
+// become witness records directly. Returns the open prefixes, the records,
+// and the number of branch points expanded.
+func decompose(t *solveTables, shared *nogoodStore) ([]searchTask, []taskRecord, int) {
+	queue := []searchTask{{}}
+	var records []taskRecord
+	prefixNodes := 0
+	s := newCSPState(t, shared, nil)
+	if !s.propagateFacts() {
+		// Unreachable: the probe refutes fact-level contradictions before
+		// the parallel phase starts.
+		return nil, nil, 0
+	}
+	factsMark := len(s.trail)
+	for exp := 0; len(queue) > 0 && len(queue) < targetTasks && exp < maxExpansions; exp++ {
+		p := queue[0]
+		queue = queue[1:]
+		if !replayPrefix(s, p.decisions) {
+			// Unreachable: the prefix assigned cleanly when it was created
+			// and replay against the same frozen store is deterministic;
+			// treat as a refuted prefix if it ever fires.
+			s.unwind(factsMark)
+			continue
+		}
+		best := s.selectView()
+		if best == -1 {
+			records = append(records, taskRecord{
+				path:    p.path,
+				status:  taskWitness,
+				decided: append([]Value(nil), s.decided...),
+			})
+			s.unwind(factsMark)
+			continue
+		}
+		prefixNodes++
+		dom := s.domains[best]
+		for i, val := range t.valueOrder {
+			if dom&(1<<uint(val)) == 0 {
+				continue
+			}
+			mark := len(s.trail)
+			if s.assign(best, val, true) {
+				child := searchTask{
+					path:      append(append([]uint8(nil), p.path...), uint8(i)),
+					decisions: append(append([]int32(nil), p.decisions...), litKey(best, val, t.numValues)),
+				}
+				queue = append(queue, child)
+			}
+			s.unwind(mark)
+		}
+		s.unwind(factsMark)
+	}
+	return queue, records, prefixNodes
+}
+
+// replayPrefix re-applies a task's decision prefix (as assumptions) onto a
+// state holding only pre-propagated facts, reporting whether every
+// assignment succeeded.
+func replayPrefix(s *cspState, decisions []int32) bool {
+	for _, key := range decisions {
+		if !s.assign(int(key)/s.numValues, Value(int(key)%s.numValues), true) {
+			return false
+		}
+	}
+	return true
+}
+
+// pathLess is the lexicographic order on branch paths (a proper prefix
+// sorts before its extensions).
+func pathLess(a, b []uint8) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// Work-stealing sweep --------------------------------------------------------
+
+// parallelRun is the shared coordination state of one work-stealing sweep.
+type parallelRun struct {
+	tables  *solveTables
+	shared  *nogoodStore
+	taskCap int // per-task node cap (the budget minus probe and prefix nodes)
+
+	// statePool recycles cspStates between tasks: the big flat arrays
+	// (counts, firstSetter, matched counters) are identical after an
+	// unwind to the post-facts mark, so a recycled state only needs a
+	// fresh private clause store. Which worker reuses which state is
+	// scheduling-dependent, but a reset state is indistinguishable from a
+	// fresh one, so results stay deterministic.
+	statePool sync.Pool
+
+	mu      sync.Mutex
+	records []taskRecord
+	// bound is the lexicographically-smallest event path published so far;
+	// tasks whose root path sorts after it abort. Stored behind an atomic
+	// pointer so the hot cancellation poll is a single load.
+	bound atomic.Pointer[[]uint8]
+}
+
+// cancelledFor reports whether a task rooted at path is dominated by an
+// already-published event.
+func (pr *parallelRun) cancelledFor(path []uint8) bool {
+	b := pr.bound.Load()
+	return b != nil && pathLess(*b, path)
+}
+
+// record stores a task outcome and publishes its path as the new bound when
+// it is a terminal event ranked below the current one.
+func (pr *parallelRun) record(r taskRecord) {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	pr.records = append(pr.records, r)
+	if r.status != taskWitness && r.status != taskBudget {
+		return
+	}
+	if cur := pr.bound.Load(); cur == nil || pathLess(r.path, *cur) {
+		p := append([]uint8(nil), r.path...)
+		pr.bound.Store(&p)
+	}
+}
+
+// runTask searches one prefix's subtree. The root branch point handles
+// work splitting: once the task has burned splitNodeThreshold nodes, every
+// still-untried root value is spawned onto the deque as its own task and
+// this task retires.
+func (pr *parallelRun) runTask(task searchTask, d *par.Deque) {
+	if pr.cancelledFor(task.path) {
+		pr.record(taskRecord{path: task.path, status: taskCancelled})
+		return
+	}
+	t := pr.tables
+	local := newNogoodStore(len(t.views), t.numValues, maxTaskNogoods, maxNogoodLen)
+	var s *cspState
+	if pooled := pr.statePool.Get(); pooled != nil {
+		s = pooled.(*cspState)
+		s.resetForTask(s.factsMark, local)
+	} else {
+		s = newCSPState(t, pr.shared, local)
+		if !s.propagateFacts() {
+			// Unreachable: the probe refutes fact-level contradictions
+			// before the parallel phase starts.
+			pr.record(taskRecord{path: task.path, status: taskCompleted})
+			return
+		}
+		s.factsMark = len(s.trail)
+	}
+	defer pr.statePool.Put(s)
+	if !replayPrefix(s, task.decisions) {
+		// A split-spawned sibling whose root value turns out inconsistent:
+		// refuted without branching, zero nodes.
+		pr.record(taskRecord{path: task.path, status: taskCompleted})
+		return
+	}
+	ctx := &cbjCtx{
+		s:              s,
+		cap:            pr.taskCap,
+		stop:           func() bool { return pr.cancelledFor(task.path) },
+		splitThreshold: splitNodeThreshold,
+	}
+	ctx.spawn = func(pathSuffix []uint8, decisions []int32) {
+		// Hand an untried value-branch prefix to the deque; whoever steals
+		// it restarts from the (deterministic) extended prefix.
+		child := searchTask{
+			path:      append(append([]uint8(nil), task.path...), pathSuffix...),
+			decisions: append(append([]int32(nil), task.decisions...), decisions...),
+		}
+		d.Spawn(func(dd *par.Deque) { pr.runTask(child, dd) })
+	}
+	rec := taskRecord{path: task.path}
+	switch st := ctx.run(); st {
+	case statusSolved:
+		rec.status = taskWitness
+		rec.decided = append([]Value(nil), s.decided...)
+		// The witness path is the one exit that leaves frames open (the
+		// caller reads the assignment); pop them now that the witness is
+		// copied out, so the pooled state's frameOf entries are clean for
+		// the next task that recycles it.
+		ctx.popFrames()
+	case statusRefuted, statusSplit:
+		rec.status = taskCompleted
+	case statusCapped:
+		rec.status = taskBudget
+	case statusCancelled:
+		rec.status = taskCancelled
+	}
+	rec.nodes = ctx.nodes
+	rec.learned = local.count()
+	pr.record(rec)
+}
+
+// Engine entry ---------------------------------------------------------------
+
+type parallelResult struct {
+	solved  bool
+	decided []Value
+	nodes   int
+	stats   SearchStats
+}
+
+// solveParallel runs the full parallel engine: probe, decomposition,
+// work-stealing sweep, rank-ordered reduction.
+func solveParallel(t *solveTables, budget int) (parallelResult, error) {
+	shared := newNogoodStore(len(t.views), t.numValues, maxSharedNogoods, maxNogoodLen)
+	po := probe(t, shared, budget)
+	res := parallelResult{nodes: po.nodes}
+	res.stats.ProbeNodes = po.nodes
+	res.stats.SharedNogoods = shared.count()
+	switch po.status {
+	case statusSolved:
+		res.solved = true
+		res.decided = append([]Value(nil), po.state.decided...)
+		return res, nil
+	case statusRefuted:
+		return res, nil
+	}
+	if po.nodes >= budget {
+		return res, errBudget(budget)
+	}
+
+	// The probe hit its limit: freeze the shared store and go wide.
+	tasks, records, prefixNodes := decompose(t, shared)
+	res.stats.PrefixNodes = prefixNodes
+	res.nodes += prefixNodes
+	if res.nodes >= budget {
+		return res, errBudget(budget)
+	}
+	// Budget semantics in the parallel phase: every task gets the full
+	// remaining budget as its PRIVATE cap, and the rank-ordered reduction
+	// enforces the aggregate deterministically afterwards. A sweep can
+	// therefore explore up to taskCap × tasks nodes of wall-clock work in
+	// the worst case before the budget error is reported — the price of
+	// keeping budget trips byte-identical across worker counts (a shared
+	// live counter would cancel tasks the deterministic reduction still
+	// needs). Budgets bound per-task work exactly and the reported result
+	// always reflects the deterministic accounting.
+	pr := &parallelRun{
+		tables:  t,
+		shared:  shared,
+		taskCap: budget - res.nodes,
+		records: records,
+	}
+	// Witnesses found during decomposition bound the sweep from the start.
+	for _, r := range records {
+		if cur := pr.bound.Load(); cur == nil || pathLess(r.path, *cur) {
+			p := append([]uint8(nil), r.path...)
+			pr.bound.Store(&p)
+		}
+	}
+	sort.Slice(tasks, func(i, j int) bool { return pathLess(tasks[i].path, tasks[j].path) })
+	deqTasks := make([]par.Task, len(tasks))
+	for i, task := range tasks {
+		task := task
+		deqTasks[i] = func(d *par.Deque) { pr.runTask(task, d) }
+	}
+	par.RunDeque(deqTasks, nil)
+
+	// Rank-ordered reduction: consume records in lexicographic path order,
+	// stopping at the first terminal event. Every record before that event
+	// is a fully-refuted subtree whose deterministic node count joins the
+	// aggregate; records past it (including any cancelled ones) never
+	// influence the result.
+	sort.Slice(pr.records, func(i, j int) bool { return pathLess(pr.records[i].path, pr.records[j].path) })
+	for _, r := range pr.records {
+		if r.status == taskCancelled {
+			break
+		}
+		res.nodes += r.nodes
+		res.stats.TaskNodes += r.nodes
+		res.stats.TaskNogoods += r.learned
+		res.stats.Tasks++
+		if r.status == taskWitness {
+			if res.nodes > budget {
+				return res, errBudget(budget)
+			}
+			res.solved = true
+			res.decided = r.decided
+			return res, nil
+		}
+		if r.status == taskBudget || res.nodes > budget {
+			return res, errBudget(budget)
+		}
+	}
+	return res, nil
+}

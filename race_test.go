@@ -47,6 +47,28 @@ func TestConcurrentSweepsRaceFree(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// The n=4 star closure with the solver's probe limit forced low: the
+	// work-stealing search phase (decomposition, shared frozen clause
+	// store, task deque, rank-ordered reduction) genuinely engages, and
+	// several clients drive it concurrently with everything else.
+	solver4, err := model.NonEmptyKernelModel(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all4, err := solver4.AllGraphs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	protocol.SetSearchProbeLimit(16)
+	defer protocol.SetSearchProbeLimit(0)
+	wantPar, err := protocol.SolveOneRound(all4, 4, 3, 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantPar.Solvable || wantPar.Stats.Tasks == 0 {
+		t.Fatalf("expected an UNSAT work-stealing run, got %+v", wantPar)
+	}
+
 	// A 7-color × 3-view pseudosphere: the dim-5 level has C(7,6)·3^6 =
 	// 5103 simplexes, above the par engine's inline threshold, so with the
 	// pinned worker count the ∂_5 block reduction genuinely fans out — four
@@ -61,9 +83,22 @@ func TestConcurrentSweepsRaceFree(t *testing.T) {
 
 	const clients = 4
 	var wg sync.WaitGroup
-	errs := make(chan error, clients*4)
+	errs := make(chan error, clients*5)
 	for c := 0; c < clients; c++ {
-		wg.Add(4)
+		wg.Add(5)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2; i++ {
+				res, err := protocol.SolveOneRound(all4, 4, 3, 50_000_000)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res != wantPar {
+					t.Errorf("concurrent work-stealing solve %+v differs from pinned %+v", res, wantPar)
+				}
+			}
+		}()
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 3; i++ {
