@@ -1,7 +1,7 @@
 GO ?= go
 # Benchmark snapshot index: bump per PR so the perf trajectory accumulates
 # (BENCH_1.json, BENCH_2.json, …).
-BENCH_N ?= 4
+BENCH_N ?= 5
 
 .PHONY: all build test vet race bench benchjson benchcheck experiments clean
 
@@ -20,7 +20,7 @@ vet:
 race:
 	$(GO) test -race ./internal/par/ ./internal/graph/ ./internal/combinat/ .
 
-# Smoke-run every benchmark once (also re-validates the E1–E15 tables).
+# Smoke-run every benchmark once (also re-validates the E1–E17 tables).
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 

@@ -14,7 +14,7 @@ import (
 	"ksettop/internal/topology"
 )
 
-// One benchmark per experiment in the DESIGN.md index (E1–E12). Each
+// One benchmark per experiment in the DESIGN.md index (E1–E17). Each
 // iteration regenerates the experiment's table and fails the benchmark on
 // any MISMATCH/FAIL row, so `go test -bench=.` doubles as the reproduction
 // harness.
@@ -57,6 +57,8 @@ func BenchmarkE12MultiRound(b *testing.B)                { benchExperiment(b, "E
 func BenchmarkE13TournamentGap(b *testing.B)             { benchExperiment(b, "E13") }
 func BenchmarkE14StarUnions7(b *testing.B)               { benchExperiment(b, "E14") }
 func BenchmarkE15RandomModels(b *testing.B)              { benchExperiment(b, "E15") }
+func BenchmarkE16RoundProducts(b *testing.B)             { benchExperiment(b, "E16") }
+func BenchmarkE17DynamicRotatingStars(b *testing.B)      { benchExperiment(b, "E17") }
 
 // Micro-benchmarks for the core computations the experiments are built on.
 
@@ -291,6 +293,35 @@ func BenchmarkHomologyBettiSparseVsPacked(b *testing.B) {
 			}
 		}
 	})
+}
+
+func BenchmarkHomologyBettiPseudosphere512k(b *testing.B) {
+	// 12 colors × 2 views: 531440 distinct simplexes (> 2^19) with 12-vertex
+	// facets — the hybrid engine's scale row (packed 5-bit level keys,
+	// apparent pairs); the seed packed path rejects it outright.
+	views := make([]int, 12)
+	for i := range views {
+		views[i] = 2
+	}
+	ac, err := topology.PseudosphereComplex(views)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if topology.PackedHomologyCapable(ac, 10) {
+		b.Fatal("instance unexpectedly fits the packed path")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		betti, err := topology.ReducedBettiNumbers(ac, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for q, v := range betti {
+			if v != 0 {
+				b.Fatalf("β̃_%d = %d, want 0", q, v)
+			}
+		}
+	}
 }
 
 func BenchmarkExecutorRun(b *testing.B) {

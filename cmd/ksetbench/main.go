@@ -8,10 +8,15 @@
 //	ksetbench                       # writes BENCH_1.json
 //	ksetbench -out BENCH_7.json     # explicit snapshot name
 //	ksetbench -parallelism 8        # pin the worker-pool size
+//	ksetbench -filter '^Homology'   # re-measure only the matching rows
 //	ksetbench -out BENCH_ci.json -against BENCH_3.json
 //	                                # also fail when any benchmark shared
 //	                                # with the committed snapshot regresses
 //	                                # more than -regress (default 25%)
+//
+// With -filter, only benchmarks whose name matches the regexp run; the
+// snapshot then holds just those rows, and the -against gate compares just
+// those rows (do not commit a filtered snapshot as the PR baseline).
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"runtime"
 	"sort"
 	"testing"
@@ -67,8 +73,10 @@ func run() error {
 	memoFlag := flag.String("memo", "on", cli.MemoFlagUsage)
 	against := flag.String("against", "", "previous snapshot to compare against (fails on regression)")
 	regress := flag.Float64("regress", 0.25, "allowed fractional ns/op regression vs -against")
+	filter := flag.String("filter", "", "regexp over benchmark names; only matches run (e.g. '^Homology')")
 	searchFlag := flag.String("search", "parallel", cli.SearchFlagUsage)
 	solverBudget := flag.Int("solver-budget", 0, cli.SolverBudgetFlagUsage)
+	clauseBudget := flag.Int("clause-budget", 0, cli.ClauseBudgetFlagUsage)
 	flag.Parse()
 	par.SetParallelism(*parallelism)
 	if err := cli.ApplyMemoFlag(*memoFlag); err != nil {
@@ -80,6 +88,18 @@ func run() error {
 	if err := cli.ApplySolverBudgetFlag(*solverBudget); err != nil {
 		return err
 	}
+	if err := cli.ApplyClauseBudgetFlag(*clauseBudget); err != nil {
+		return err
+	}
+
+	var nameRe *regexp.Regexp
+	if *filter != "" {
+		re, err := regexp.Compile(*filter)
+		if err != nil {
+			return fmt.Errorf("parsing -filter: %w", err)
+		}
+		nameRe = re
+	}
 
 	snap := snapshot{
 		Timestamp:   time.Now().UTC().Format(time.RFC3339),
@@ -90,6 +110,9 @@ func run() error {
 		Parallelism: par.Parallelism(),
 	}
 	for _, b := range benches() {
+		if nameRe != nil && !nameRe.MatchString(b.name) {
+			continue
+		}
 		r := testing.Benchmark(b.fn)
 		snap.Benchmarks = append(snap.Benchmarks, benchResult{
 			Name:        b.name,
@@ -287,6 +310,34 @@ func benches() []bench {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				betti, err := topology.ReducedBettiNumbers(ac, 7)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for q, v := range betti {
+					if v != 0 {
+						b.Fatalf("β̃_%d = %d, want 0", q, v)
+					}
+				}
+			}
+		}},
+		{"HomologyBetti512k", func(b *testing.B) {
+			// 12 colors × 2 views: 531440 distinct simplexes (> 2^19) with
+			// 12-vertex facets. The hybrid engine's packed level keys
+			// (5-bit fields × 12 vertices) and apparent-pairs pass carry it
+			// in seconds; the pure-sparse reduction can only grind through,
+			// and the seed path rejects it outright. Join of 12 discrete
+			// pairs ⇒ β̃_0..β̃_10 = 0.
+			views := make([]int, 12)
+			for i := range views {
+				views[i] = 2
+			}
+			ac, err := topology.PseudosphereComplex(views)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				betti, err := topology.ReducedBettiNumbers(ac, 10)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -1,5 +1,5 @@
 // Command ksetexperiments regenerates every table and figure reproduction
-// indexed in DESIGN.md (E1–E16) and prints them as plain-text tables — the
+// indexed in DESIGN.md (E1–E17) and prints them as plain-text tables — the
 // source of record for EXPERIMENTS.md.
 //
 // Usage:
@@ -37,10 +37,11 @@ func run() error {
 	only := flag.String("only", "", "comma-separated experiment IDs (default all)")
 	parallelism := flag.Int("parallelism", 0, "worker-pool size (0 = KSETTOP_PARALLELISM or GOMAXPROCS)")
 	memoFlag := flag.String("memo", "on", cli.MemoFlagUsage)
-	engineFlag := flag.String("engine", "sparse", cli.EngineFlagUsage)
+	engineFlag := flag.String("engine", "hybrid", cli.EngineFlagUsage)
 	memoSnapshot := flag.String("memo-snapshot", "", cli.MemoSnapshotUsage)
 	searchFlag := flag.String("search", "parallel", cli.SearchFlagUsage)
 	solverBudget := flag.Int("solver-budget", 0, cli.SolverBudgetFlagUsage)
+	clauseBudget := flag.Int("clause-budget", 0, cli.ClauseBudgetFlagUsage)
 	flag.Parse()
 	par.SetParallelism(*parallelism)
 	if err := cli.ApplyMemoFlag(*memoFlag); err != nil {
@@ -53,6 +54,9 @@ func run() error {
 		return err
 	}
 	if err := cli.ApplySolverBudgetFlag(*solverBudget); err != nil {
+		return err
+	}
+	if err := cli.ApplyClauseBudgetFlag(*clauseBudget); err != nil {
 		return err
 	}
 	if err := cli.LoadMemoSnapshot(*memoSnapshot); err != nil {

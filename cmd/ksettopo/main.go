@@ -35,9 +35,10 @@ func run() error {
 	maxDim := flag.Int("maxdim", -1, "homology dimension cap (default n−2)")
 	parallelism := flag.Int("parallelism", 0, "worker-pool size (0 = KSETTOP_PARALLELISM or GOMAXPROCS)")
 	memoFlag := flag.String("memo", "on", cli.MemoFlagUsage)
-	engineFlag := flag.String("engine", "sparse", cli.EngineFlagUsage)
+	engineFlag := flag.String("engine", "hybrid", cli.EngineFlagUsage)
 	memoSnapshot := flag.String("memo-snapshot", "", cli.MemoSnapshotUsage)
 	solverBudget := flag.Int("solver-budget", 0, cli.SolverBudgetFlagUsage)
+	clauseBudget := flag.Int("clause-budget", 0, cli.ClauseBudgetFlagUsage)
 	flag.Parse()
 	par.SetParallelism(*parallelism)
 	if err := cli.ApplyMemoFlag(*memoFlag); err != nil {
@@ -47,6 +48,9 @@ func run() error {
 		return err
 	}
 	if err := cli.ApplySolverBudgetFlag(*solverBudget); err != nil {
+		return err
+	}
+	if err := cli.ApplyClauseBudgetFlag(*clauseBudget); err != nil {
 		return err
 	}
 	if err := cli.LoadMemoSnapshot(*memoSnapshot); err != nil {
@@ -100,7 +104,10 @@ func reportUninterpreted(m *model.ClosedAbove, dim int) error {
 	fmt.Printf("  union: %d facets (%d before dedup), dim %d, pure=%v, χ=%d\n",
 		ac.FacetCount(), totalFacets, ac.Dimension(), ac.IsPure(), ac.EulerCharacteristic())
 
-	betti, err := topology.ReducedBettiNumbers(ac, dim)
+	// One facet walk feeds the reduction; the facet-based entry would
+	// re-derive the levels the report already enumerates.
+	levels := ac.SimplexLevels(dim + 1)
+	betti, err := topology.ReducedBettiNumbersFromLevels(ac, levels, dim)
 	if err != nil {
 		return err
 	}
@@ -135,7 +142,7 @@ func reportProtocol(m *model.ClosedAbove, values, dim int) error {
 	fmt.Printf("  %d input facets × %d generators → %d facets, %d vertices\n",
 		len(inputs), m.GeneratorCount(), ac.FacetCount(), len(verts))
 
-	betti, err := topology.ReducedBettiNumbers(ac, dim)
+	betti, err := topology.ReducedBettiNumbersFromLevels(ac, ac.SimplexLevels(dim+1), dim)
 	if err != nil {
 		return err
 	}

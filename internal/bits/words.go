@@ -34,6 +34,11 @@ func (w Words) SetBit(i int) {
 	w[i>>6] |= 1 << uint(i&63)
 }
 
+// FlipBit toggles bit i.
+func (w Words) FlipBit(i int) {
+	w[i>>6] ^= 1 << uint(i&63)
+}
+
 // Clear zeroes every bit.
 func (w Words) Clear() {
 	for i := range w {
@@ -56,6 +61,30 @@ func (w Words) ContainsAll(x Words) bool {
 		}
 	}
 	return true
+}
+
+// XorInto sets w to w ⊕ x (symmetric difference). x may be shorter than w;
+// the homology engine XORs dense column blocks only up to the pivot word.
+func (w Words) XorInto(x Words) {
+	for i, v := range x {
+		w[i] ^= v
+	}
+}
+
+// HighestBitFrom returns the index of the highest set bit whose word index
+// is ≤ fromWord, or -1 when that prefix is empty. Callers that track a
+// pivot ("low") bit pass its word index as the scan start, so repeated
+// pivot queries after XORs cost only the words actually cleared.
+func (w Words) HighestBitFrom(fromWord int) int {
+	if fromWord >= len(w) {
+		fromWord = len(w) - 1
+	}
+	for i := fromWord; i >= 0; i-- {
+		if v := w[i]; v != 0 {
+			return i<<6 | (63 - bits.LeadingZeros64(v))
+		}
+	}
+	return -1
 }
 
 // OnesCount returns the number of set bits.

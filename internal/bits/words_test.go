@@ -41,6 +41,47 @@ func TestWordsBasics(t *testing.T) {
 	}
 }
 
+func TestWordsXorHighestBit(t *testing.T) {
+	a, b := NewWords(200), NewWords(200)
+	for _, i := range []int{3, 70, 140, 199} {
+		a.SetBit(i)
+	}
+	for _, i := range []int{3, 71, 199} {
+		b.SetBit(i)
+	}
+	a.XorInto(b) // {70, 71, 140}
+	got := positions(a)
+	want := []int{70, 71, 140}
+	if len(got) != len(want) {
+		t.Fatalf("xor bits = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("xor bits = %v, want %v", got, want)
+		}
+	}
+	if hb := a.HighestBitFrom(len(a) - 1); hb != 140 {
+		t.Fatalf("HighestBitFrom(top) = %d, want 140", hb)
+	}
+	if hb := a.HighestBitFrom(1); hb != 71 {
+		t.Fatalf("HighestBitFrom(1) = %d, want 71", hb)
+	}
+	if hb := a.HighestBitFrom(99); hb != 140 {
+		t.Fatalf("HighestBitFrom past the end should clamp, got %d", hb)
+	}
+	a.Clear()
+	if hb := a.HighestBitFrom(len(a) - 1); hb != -1 {
+		t.Fatalf("HighestBitFrom on empty = %d, want -1", hb)
+	}
+	// Short-x XOR only touches the prefix.
+	c := NewWords(200)
+	c.SetBit(199)
+	c.XorInto(b[:1])
+	if !c.Has(3) || !c.Has(199) || c.OnesCount() != 2 {
+		t.Fatalf("prefix XorInto wrong: %v", positions(c))
+	}
+}
+
 func TestWordsSetOps(t *testing.T) {
 	a, b := NewWords(100), NewWords(100)
 	a.SetBit(1)

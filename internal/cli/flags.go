@@ -11,18 +11,20 @@ import (
 )
 
 // EngineFlagUsage is the shared help text of the -engine flag.
-const EngineFlagUsage = "homology engine: sparse (sharded CSC reduction) | packed (seed bit-packed oracle)"
+const EngineFlagUsage = "homology engine: hybrid (apparent pairs + bit-packed hybrid columns) | sparse (pure-sparse cross-check) | packed (seed bit-packed oracle)"
 
 // ApplyEngineFlag interprets the shared -engine flag value and switches the
 // process-wide GF(2) reduction backend.
 func ApplyEngineFlag(value string) error {
 	switch strings.ToLower(value) {
+	case "hybrid":
+		topology.SetHomologyEngine(topology.EngineHybrid)
 	case "sparse":
 		topology.SetHomologyEngine(topology.EngineSparse)
 	case "packed":
 		topology.SetHomologyEngine(topology.EnginePacked)
 	default:
-		return fmt.Errorf("cli: -engine=%q, want sparse or packed", value)
+		return fmt.Errorf("cli: -engine=%q, want hybrid, sparse or packed", value)
 	}
 	return nil
 }
@@ -55,6 +57,20 @@ func ApplySolverBudgetFlag(n int) error {
 		return fmt.Errorf("cli: -solver-budget=%d must be ≥ 0", n)
 	}
 	protocol.SetDefaultNodeBudget(n)
+	return nil
+}
+
+// ClauseBudgetFlagUsage is the shared help text of the -clause-budget flag.
+const ClauseBudgetFlagUsage = "learned-clause store budget with LBD/age eviction (0 = stock append-only bounds)"
+
+// ApplyClauseBudgetFlag sets the process-wide clause-store budget: n > 0
+// bounds the solver's learned-clause stores at n (shared) and n/4 (per
+// task) with deterministic aging/eviction; 0 restores the stock policy.
+func ApplyClauseBudgetFlag(n int) error {
+	if n < 0 {
+		return fmt.Errorf("cli: -clause-budget=%d must be ≥ 0", n)
+	}
+	protocol.SetClauseStoreBudget(n)
 	return nil
 }
 

@@ -12,7 +12,7 @@ import (
 )
 
 func TestApplyEngineFlag(t *testing.T) {
-	defer topology.SetHomologyEngine(topology.EngineSparse)
+	defer topology.SetHomologyEngine(topology.EngineHybrid)
 	if err := ApplyEngineFlag("packed"); err != nil {
 		t.Fatal(err)
 	}
@@ -24,6 +24,12 @@ func TestApplyEngineFlag(t *testing.T) {
 	}
 	if got := topology.CurrentHomologyEngine(); got != topology.EngineSparse {
 		t.Errorf("engine = %v, want sparse", got)
+	}
+	if err := ApplyEngineFlag("Hybrid"); err != nil {
+		t.Fatal(err)
+	}
+	if got := topology.CurrentHomologyEngine(); got != topology.EngineHybrid {
+		t.Errorf("engine = %v, want hybrid", got)
 	}
 	if err := ApplyEngineFlag("dense"); err == nil {
 		t.Error("unknown engine should be rejected")

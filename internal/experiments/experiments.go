@@ -1,5 +1,5 @@
 // Package experiments regenerates every figure and worked example in the
-// paper's evaluation-bearing sections, as indexed in DESIGN.md (E1–E16).
+// paper's evaluation-bearing sections, as indexed in DESIGN.md (E1–E17).
 // Each experiment returns a Table whose rows state the paper's claim next to
 // the measured value; EXPERIMENTS.md is the recorded output.
 package experiments
@@ -11,7 +11,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ksettop/internal/homology"
 	"ksettop/internal/par"
+	"ksettop/internal/topology"
 )
 
 // Table is one experiment's result table.
@@ -149,6 +151,7 @@ func All() []Runner {
 		{"E14", E14StarUnions7},
 		{"E15", E15RandomClosedAbove},
 		{"E16", E16RoundProducts},
+		{"E17", E17DynamicRotatingStars},
 	}
 }
 
@@ -157,4 +160,34 @@ func check(cond bool) string {
 		return "ok"
 	}
 	return "MISMATCH"
+}
+
+// crossCheckedBetti computes β̃_0…β̃_maxDim of the complex on the hybrid
+// engine, feeding the pure-sparse cross-check from the same SimplexLevels
+// walk via the levels-accepting entry point. connected reports whether
+// every Betti number vanishes (the Thm 4.12 claim); enginesAgree whether
+// the two reductions returned identical vectors.
+func crossCheckedBetti(ac *topology.AbstractComplex, maxDim int) (betti []int, connected, enginesAgree bool, err error) {
+	cc, err := homology.NewChainComplexFromLevels(ac.SimplexLevels(maxDim + 1))
+	if err != nil {
+		return nil, false, false, err
+	}
+	betti, err = cc.ReducedBetti(maxDim)
+	if err != nil {
+		return nil, false, false, err
+	}
+	sparse, err := cc.ReducedBettiSparse(maxDim)
+	if err != nil {
+		return nil, false, false, err
+	}
+	connected, enginesAgree = true, len(sparse) == len(betti)
+	for q, b := range betti {
+		if b != 0 {
+			connected = false
+		}
+		if enginesAgree && sparse[q] != b {
+			enginesAgree = false
+		}
+	}
+	return betti, connected, enginesAgree, nil
 }

@@ -120,6 +120,37 @@ func TestE14GoldenTable(t *testing.T) {
 	}
 }
 
+// TestE17GoldenTable pins the dynamic rotating-star family cell by cell:
+// the generator orbits, complex sizes, γ_dist values, solver verdicts
+// (solvable exactly when the rotation misses a process), Betti vectors and
+// every engine cross-check are deterministic.
+func TestE17GoldenTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E17 reduces a ~213k-simplex complex; skipped in -short mode")
+	}
+	table, err := E17DynamicRotatingStars()
+	if err != nil {
+		t.Fatalf("E17: %v", err)
+	}
+	golden := [][]string{
+		{"out-star", "5", "2", "2", "126976", "68", "4", "skipped (budget)", "[0 0 0 0]", "ok", "ok", "skipped (size)"},
+		{"muted-star", "5", "3", "3", "46", "17", "2", "solvable ok", "[0 0 0 0]", "ok", "ok", "ok"},
+		{"muted-star", "5", "5", "5", "76", "25", "2", "impossible ok", "[0 0 0 0]", "ok", "ok", "ok"},
+		{"muted-star", "6", "3", "3", "94", "21", "2", "solvable ok", "[0 0 0 0 0]", "ok", "ok", "ok"},
+		{"muted-star", "6", "6", "6", "187", "36", "2", "impossible ok", "[0 0 0 0 0]", "ok", "ok", "ok"},
+		{"muted-star", "7", "4", "4", "253", "31", "2", "skipped (budget)", "[0 0 0 0 0 0]", "ok", "ok", "ok"},
+		{"muted-star", "7", "7", "7", "442", "49", "2", "skipped (budget)", "[0 0 0 0 0 0]", "ok", "ok", "ok"},
+	}
+	if len(table.Rows) != len(golden) {
+		t.Fatalf("E17 has %d rows, want %d:\n%s", len(table.Rows), len(golden), table.Render())
+	}
+	for i, want := range golden {
+		if got := fmt.Sprint(table.Rows[i]); got != fmt.Sprint(want) {
+			t.Errorf("E17 row %d = %v, want %v", i, table.Rows[i], want)
+		}
+	}
+}
+
 // TestE15GoldenTable pins the random closed-above sweep cell by cell: the
 // seeded draws, the closure sizes, the Betti vectors from the sparse engine,
 // and which rows exceed the seed packed path's caps are all deterministic.
@@ -132,14 +163,14 @@ func TestE15GoldenTable(t *testing.T) {
 		t.Fatalf("E15: %v", err)
 	}
 	golden := [][]string{
-		{"4", "1", "0.50", "true", "24", "665", "28", "packed", "[0 0 0]", "ok", "ok"},
-		{"4", "2", "0.30", "false", "2", "1040", "25", "packed", "[0 0 0]", "ok", "ok"},
-		{"5", "3", "0.80", "true", "240", "3196", "55", "packed", "[0 0 0 0]", "ok", "ok"},
-		{"5", "4", "0.40", "false", "2", "4992", "39", "packed", "[0 0 0 0]", "ok", "ok"},
-		{"6", "5", "0.85", "true", "1080", "7621", "156", "packed", "[0 0 0 0 0]", "ok", "ok"},
-		{"6", "6", "0.80", "false", "2", "504", "29", "packed", "[0 0 0 0 0]", "ok", "ok"},
-		{"9", "7", "0.95", "false", "2", "2049", "28", "sparse-only", "[0 0 0 0 0 0 0 0]", "ok", "n/a"},
-		{"10", "8", "0.97", "false", "1", "8", "13", "sparse-only", "[0 0 0 0 0 0 0 0 0]", "ok", "n/a"},
+		{"4", "1", "0.50", "true", "24", "665", "28", "packed", "[0 0 0]", "ok", "ok", "ok"},
+		{"4", "2", "0.30", "false", "2", "1040", "25", "packed", "[0 0 0]", "ok", "ok", "ok"},
+		{"5", "3", "0.80", "true", "240", "3196", "55", "packed", "[0 0 0 0]", "ok", "ok", "ok"},
+		{"5", "4", "0.40", "false", "2", "4992", "39", "packed", "[0 0 0 0]", "ok", "ok", "ok"},
+		{"6", "5", "0.85", "true", "1080", "7621", "156", "packed", "[0 0 0 0 0]", "ok", "ok", "ok"},
+		{"6", "6", "0.80", "false", "2", "504", "29", "packed", "[0 0 0 0 0]", "ok", "ok", "ok"},
+		{"9", "7", "0.95", "false", "2", "2049", "28", "sparse-only", "[0 0 0 0 0 0 0 0]", "ok", "n/a", "ok"},
+		{"10", "8", "0.97", "false", "1", "8", "13", "sparse-only", "[0 0 0 0 0 0 0 0 0]", "ok", "n/a", "ok"},
 	}
 	if len(table.Rows) != len(golden) {
 		t.Fatalf("E15 has %d rows, want %d:\n%s", len(table.Rows), len(golden), table.Render())

@@ -5,27 +5,27 @@ import (
 	"math/rand"
 
 	"ksettop/internal/graph"
-	"ksettop/internal/homology"
 	"ksettop/internal/model"
 	"ksettop/internal/topology"
 )
 
 // E15RandomClosedAbove sweeps seeded random closed-above model families
-// through the sparse homology engine: for each row a deterministic RNG draws
+// through the hybrid homology engine: for each row a deterministic RNG draws
 // generator graphs, the (symmetric) closed-above model is built, and Thm
 // 4.12 is machine-checked on its uninterpreted complex — C_A must be
 // homologically (n−2)-connected for EVERY closed-above model, so random
 // families probe the theorem where no worked example exists.
 //
 // The denser instances stay within the seed packed path's caps and
-// cross-check the sparse engine against the oracle; the sparser n = 6 rows
-// push C_A past 2^8 vertices at 6-vertex facets, where only the sparse
-// engine has a fast path (cap column "sparse-only").
+// cross-check the hybrid engine against the oracle; the sparser n = 6 rows
+// push C_A past 2^8 vertices at 6-vertex facets, where only the unbounded
+// engines have a fast path (cap column "sparse-only"). Every row also pins
+// hybrid against the pure-sparse reduction on one shared level table.
 func E15RandomClosedAbove() (*Table, error) {
 	t := &Table{
 		ID:      "E15",
-		Title:   "Thm 4.12 on random closed-above models (sparse homology engine)",
-		Columns: []string{"n", "seed", "p", "sym", "gens", "facets", "verts", "cap", "β̃(C_A)", "Thm 4.12", "oracle"},
+		Title:   "Thm 4.12 on random closed-above models (hybrid homology engine)",
+		Columns: []string{"n", "seed", "p", "sym", "gens", "facets", "verts", "cap", "β̃(C_A)", "Thm 4.12", "oracle", "hybrid=sparse"},
 	}
 	// Densities are tuned so facet counts stay in experiment range: C_A has
 	// Π_p 2^(n−|In_G(p)|) facets per generator, so the larger n get denser
@@ -76,18 +76,12 @@ func E15RandomClosedAbove() (*Table, error) {
 			return nil, err
 		}
 		maxDim := row.n - 2
-		// The sparse engine is addressed directly (not through the global
-		// engine switch): the oracle column below compares it against the
-		// seed reduction, which would be vacuous under -engine packed.
-		betti, err := homology.ReducedBetti(ac, maxDim)
+		// The engines are addressed directly (not through the global engine
+		// switch): the cross-check columns below would be vacuous under
+		// -engine packed.
+		betti, connected, enginesAgree, err := crossCheckedBetti(ac, maxDim)
 		if err != nil {
 			return nil, err
-		}
-		connected := true
-		for _, b := range betti {
-			if b != 0 {
-				connected = false
-			}
 		}
 		// Cross-check against the seed reduction only where its fast path
 		// applies: past the cap the oracle would fall back to dense generic
@@ -112,9 +106,9 @@ func E15RandomClosedAbove() (*Table, error) {
 		}
 		t.AddRow(row.n, row.seed, fmt.Sprintf("%.2f", row.p), row.sym, m.GeneratorCount(),
 			ac.FacetCount(), len(ac.VertexSet()), cap_,
-			fmt.Sprint(betti), check(connected), agreeCell)
+			fmt.Sprint(betti), check(connected), agreeCell, check(enginesAgree))
 	}
 	t.AddNote("cap: whether the seed bit-packed path can represent the instance; sparse-only rows exceed its vertex×simplex-size budget.")
-	t.AddNote("oracle: sparse engine vs seed packed/generic reduction on the same complex.")
+	t.AddNote("oracle: hybrid engine vs seed packed/generic reduction; hybrid=sparse: hybrid vs pure-sparse reduction on one shared level table.")
 	return t, nil
 }

@@ -1,0 +1,308 @@
+package homology
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ksettop/internal/bits"
+)
+
+// This file is the column layer of the hybrid engine: a GF(2) column that
+// starts as a sorted sparse uint32 row list and promotes to a bit-packed
+// dense block once its fill crosses the promotion threshold, the reducer
+// that XORs such columns against a pivot table, and the pooled arenas the
+// columns are carved from.
+
+// column is one hybrid GF(2) column. Exactly one of sparse/dense is the
+// live representation: sparse holds ascending row ids, dense is a
+// bit-packed block over the full row universe. low caches the pivot (the
+// largest set row), -1 when the column is zero.
+type column struct {
+	sparse []uint32
+	dense  bits.Words
+	low    int32
+}
+
+// promoteOverride is the test knob behind SetPromotionThreshold.
+var promoteOverride atomic.Int64
+
+// SetPromotionThreshold overrides the sparse→dense promotion fill: a
+// reduced column densifies once it holds at least n row entries (n ≤ 0
+// restores the stock policy of max(64, numRows/32)). Betti numbers are
+// representation-independent, so this only moves work between the merge
+// and word-XOR paths; it exists so tests can force columns across the
+// threshold on small complexes.
+func SetPromotionThreshold(n int) {
+	if n < 0 {
+		n = 0
+	}
+	promoteOverride.Store(int64(n))
+}
+
+// promotionThreshold returns the fill (row entries) at which a sparse
+// column promotes to a dense block. Stock policy: a dense block costs
+// numRows/64 words, a sparse column nnz/2 words, and word-wide XOR beats a
+// merge once a column carries a couple of entries per word — so promote at
+// numRows/32, floored so short columns never pay the block zeroing.
+func promotionThreshold(numRows int) int {
+	if n := promoteOverride.Load(); n > 0 {
+		return int(n)
+	}
+	t := numRows / 32
+	if t < 64 {
+		t = 64
+	}
+	return t
+}
+
+// hybridReducer is one pivot-table column reduction over hybrid columns:
+// pivot[r] indexes the stored reduced column whose low is r (-1 when
+// unclaimed), appar is the shared read-only apparent-pair table (columns
+// installed by the preprocessing pass without entering the queue). All
+// scratch — the pivot table, the unreduced-column arena, dense slabs, the
+// merge spare — lives on the reducer and is recycled through reducerPool
+// across blocks, dimensions and ReducedBetti calls.
+type hybridReducer struct {
+	m       *Boundary
+	appar   []int32
+	pivot   []int32
+	cols    []column
+	promote int
+	rank    int
+
+	spare []uint32 // merge destination, swap-recycled like the sparse path
+	face  []uint32 // stride-1 face scratch for column materialization
+	apcol []uint32 // stride scratch for apparent-pivot materialization
+
+	// Dense blocks and sparse column storage are carved from chunked bump
+	// slabs: a block must never move (live columns point into it), so slabs
+	// are append-only and the bump offsets rewind on reuse. Anything that
+	// might still point into a slab (column headers, the spare) is dropped
+	// at reset, so a rewound slab can never be scribbled over through a
+	// stale alias.
+	slabs   [][]uint64
+	slabIdx int
+	slabOff int
+
+	u32slabs [][]uint32
+	u32Idx   int
+	u32Off   int
+}
+
+var reducerPool sync.Pool
+
+// getReducer returns a pooled reducer reset for matrix m: pivot table
+// cleared to -1, column list emptied, dense slabs rewound.
+func getReducer(m *Boundary, appar []int32, promote int) *hybridReducer {
+	r, _ := reducerPool.Get().(*hybridReducer)
+	if r == nil {
+		r = &hybridReducer{}
+	}
+	r.m = m
+	r.appar = appar
+	r.promote = promote
+	r.rank = 0
+	if cap(r.pivot) < m.numRows {
+		r.pivot = make([]int32, m.numRows)
+	}
+	r.pivot = r.pivot[:m.numRows]
+	for i := range r.pivot {
+		r.pivot[i] = -1
+	}
+	r.cols = r.cols[:0]
+	if cap(r.face) < m.stride-1 {
+		r.face = make([]uint32, m.stride-1)
+		r.apcol = make([]uint32, m.stride)
+	}
+	r.face = r.face[:m.stride-1]
+	r.apcol = r.apcol[:m.stride]
+	r.slabIdx, r.slabOff = 0, 0
+	r.u32Idx, r.u32Off = 0, 0
+	// The spare may alias a slab (this reducer's or — after a
+	// reconciliation phase — another pooled reducer's); both rewind, so it
+	// must not survive into this reduction.
+	r.spare = nil
+	return r
+}
+
+// putReducer releases the reducer (and every column carved from its
+// arenas) back to the pool. The caller must be done with r.cols.
+func putReducer(r *hybridReducer) {
+	r.m = nil
+	r.appar = nil
+	// Drop the column headers but keep the backing arrays for reuse.
+	for i := range r.cols {
+		r.cols[i] = column{}
+	}
+	r.spare = nil
+	reducerPool.Put(r)
+}
+
+// slabWords sizes the dense-block slabs (512 KiB); u32SlabLen sizes the
+// sparse-storage slabs likewise.
+const (
+	slabWords  = 1 << 16
+	u32SlabLen = 1 << 17
+)
+
+// u32buf carves an n-entry uint32 buffer out of the sparse-storage slab
+// chain. The buffer is NOT zeroed; callers overwrite it fully (block
+// arenas) or append within its capacity (merge spares).
+func (r *hybridReducer) u32buf(n int) []uint32 {
+	for {
+		if r.u32Idx == len(r.u32slabs) {
+			size := u32SlabLen
+			if size < n {
+				size = n
+			}
+			r.u32slabs = append(r.u32slabs, make([]uint32, size))
+		}
+		if s := r.u32slabs[r.u32Idx]; r.u32Off+n <= len(s) {
+			b := s[r.u32Off : r.u32Off+n : r.u32Off+n]
+			r.u32Off += n
+			return b
+		}
+		r.u32Idx++
+		r.u32Off = 0
+	}
+}
+
+// newDense carves a zeroed dense block for the current matrix's row
+// universe out of the slab chain.
+func (r *hybridReducer) newDense() bits.Words {
+	n := (r.m.numRows + 63) / 64
+	for {
+		if r.slabIdx == len(r.slabs) {
+			size := slabWords
+			if size < n {
+				size = n
+			}
+			r.slabs = append(r.slabs, make([]uint64, size))
+		}
+		if s := r.slabs[r.slabIdx]; r.slabOff+n <= len(s) {
+			b := s[r.slabOff : r.slabOff+n : r.slabOff+n]
+			r.slabOff += n
+			for i := range b {
+				b[i] = 0
+			}
+			return bits.Words(b)
+		}
+		r.slabIdx++
+		r.slabOff = 0
+	}
+}
+
+// add reduces col against the apparent table and the local pivot table and
+// installs it as a new pivot when it does not vanish, reporting whether the
+// rank grew. Every XOR cancels the current low (both operands share it), so
+// col.low strictly decreases and the loop terminates.
+func (r *hybridReducer) add(col column) bool {
+	for col.low >= 0 {
+		if aj := r.appar[col.low]; aj >= 0 {
+			r.xorApparent(&col, int(aj))
+			continue
+		}
+		p := r.pivot[col.low]
+		if p < 0 {
+			r.pivot[col.low] = int32(len(r.cols))
+			r.cols = append(r.cols, col)
+			r.rank++
+			return true
+		}
+		r.xor(&col, &r.cols[p])
+	}
+	return false
+}
+
+// xor sets col to col ⊕ pivot, dispatching on the two representations. The
+// pivot column is never mutated.
+func (r *hybridReducer) xor(col, pivot *column) {
+	if pivot.dense != nil {
+		if col.dense == nil {
+			r.densify(col)
+		}
+		lw := int(col.low >> 6)
+		col.dense[:lw+1].XorInto(pivot.dense[:lw+1])
+		col.low = int32(col.dense.HighestBitFrom(lw))
+		return
+	}
+	if col.dense != nil {
+		r.xorSparseRows(col, pivot.sparse)
+		return
+	}
+	r.symdiff(col, pivot.sparse)
+}
+
+// xorApparent materializes the apparent pivot column j (its boundary faces
+// are recomputed — apparent columns are never stored) and XORs it into col.
+func (r *hybridReducer) xorApparent(col *column, j int) {
+	r.m.columnInto(j, r.apcol, r.face)
+	if col.dense != nil {
+		r.xorSparseRows(col, r.apcol)
+		return
+	}
+	r.symdiff(col, r.apcol)
+}
+
+// xorSparseRows flips the given rows in col's dense block and rescans the
+// pivot from the old low's word downward (the low always cancels, so the
+// new pivot can only be lower).
+func (r *hybridReducer) xorSparseRows(col *column, rows []uint32) {
+	for _, row := range rows {
+		col.dense.FlipBit(int(row))
+	}
+	col.low = int32(col.dense.HighestBitFrom(int(col.low) >> 6))
+}
+
+// symdiff merges the sparse pivot rows into col (GF(2) sum of sorted
+// lists), writing into the spare buffer and recycling col's old storage as
+// the next spare, then promotes the result to a dense block when it crosses
+// the threshold. A spare too small for the worst-case merge is replaced
+// from the slab up front, so the appends below never reallocate.
+func (r *hybridReducer) symdiff(col *column, b []uint32) {
+	a := col.sparse
+	if need := len(a) + len(b); cap(r.spare) < need {
+		r.spare = r.u32buf(need)
+	}
+	out := r.spare[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	r.spare = a[:0]
+	col.sparse = out
+	if len(out) == 0 {
+		col.low = -1
+		return
+	}
+	col.low = int32(out[len(out)-1])
+	if len(out) >= r.promote {
+		r.densify(col)
+	}
+}
+
+// densify converts a sparse column to a bit-packed dense block, recycling
+// the larger of the old storage and the current spare.
+func (r *hybridReducer) densify(col *column) {
+	d := r.newDense()
+	for _, row := range col.sparse {
+		d.SetBit(int(row))
+	}
+	if cap(col.sparse) > cap(r.spare) {
+		r.spare = col.sparse[:0]
+	}
+	col.sparse = nil
+	col.dense = d
+}

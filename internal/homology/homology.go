@@ -1,39 +1,46 @@
-// Package homology is the sparse GF(2) chain-complex engine behind the
+// Package homology is the GF(2) chain-complex engine behind the
 // repository's connectivity checks.
 //
 // The paper's impossibility arguments reduce to (k−1)-connectivity of
 // protocol complexes (Thms 4.9/4.12), which the repository machine-checks
 // through vanishing reduced Betti numbers over GF(2). The seed reduction in
 // internal/topology packed simplexes into single machine words, which caps
-// it at 2^16 vertices and 4-vertex simplexes (8-vertex below 2^8 vertices)
-// before falling back to a dense-column generic path. This package removes
-// both caps:
+// it at 2^16 vertices and 4-vertex simplexes; the PR-3 sparse engine
+// removed both caps. This package now runs a hybrid-column engine on top of
+// the same level tables:
 //
 //   - Levels store each dimension's simplexes as a flat arena of uint32
 //     vertex ids (stride = vertex count), sorted lexicographically and
-//     deduplicated — no packing limit, no map keys.
-//   - Boundary matrices are CSC with sorted uint32 row indices found by
-//     binary search into the face level; every column of ∂_q has exactly
-//     q+1 entries, so the column pointer is implicit.
-//   - Ranks come from pivot-table column reduction with a low-pivot index
-//     (pivot = largest row of the reduced column), with the Chen–Kerber
-//     clearing twist: reducing top dimension first lets every pivot row of
-//     ∂_{q+1} clear its column in ∂_q, which skips exactly the columns that
-//     would reduce to zero anyway.
-//   - The reduction shards across internal/par: columns are split into
-//     contiguous blocks, each block is reduced locally in parallel, and the
-//     block survivors are reconciled sequentially in block order against the
-//     global pivot table. GF(2) rank is unique, so Betti numbers are
-//     identical across every parallelism setting (the same determinism
+//     deduplicated — no packing limit, no map keys (levels.go).
+//   - Boundary matrices are implicit CSC: a column's sorted row indices are
+//     materialized on demand by binary search into the face level, and its
+//     unreduced pivot is a single lookup (the face omitting the leading
+//     vertex is the lexicographically largest facet), so the apparent-pairs
+//     pass never touches full columns (reduce.go).
+//   - Apparent pairs (discrete-Morse-flavored): each row is paired with the
+//     first column whose unreduced pivot lands on it; paired columns have
+//     pairwise-distinct lows, hence are independent, and install as pivots
+//     with zero reduction work — they skip the queue entirely, composing
+//     with the Chen–Kerber clearing twist (top dimension first, every pivot
+//     row of ∂_{q+1} clears its column of ∂_q).
+//   - Queued columns are hybrid: sorted sparse uint32 lists that promote to
+//     bit-packed uint64 dense blocks once fill crosses the promotion
+//     threshold, so XOR of hot columns is word-wide instead of merge-based
+//     (columns.go). Column arenas, dense slabs and pivot tables are pooled
+//     and recycled across dimensions and across ReducedBetti calls.
+//   - The reduction shards across internal/par: contiguous column blocks
+//     reduce locally in parallel against the frozen apparent table, and the
+//     block survivors are reconciled sequentially in block order. GF(2)
+//     rank is unique, so Betti numbers are identical across every
+//     parallelism setting, engine, and representation (the same determinism
 //     contract as the PR-2 solver sweep).
+//
+// The PR-3 pure-sparse reduction survives as ReducedBettiSparse (the
+// cmds' -engine=sparse) for cross-checking; the two paths share the level
+// tables but no reduction code.
 package homology
 
-import (
-	"fmt"
-	"sort"
-
-	"ksettop/internal/par"
-)
+import "fmt"
 
 // Complex is the read surface the engine needs from a simplicial complex:
 // the maximal simplexes as sorted vertex lists. *topology.AbstractComplex
@@ -42,523 +49,23 @@ type Complex interface {
 	Facets() [][]int
 }
 
-// Level holds the distinct simplexes of one dimension as a flat arena of
-// uint32 vertex ids: simplex i occupies verts[i*size : (i+1)*size], sorted
-// lexicographically across simplexes and ascending within each.
-type Level struct {
-	size  int // vertices per simplex (dimension + 1)
-	verts []uint32
-}
-
-// Size returns the vertex count per simplex (dimension + 1).
-func (l *Level) Size() int { return l.size }
-
-// Count returns the number of simplexes in the level.
-func (l *Level) Count() int {
-	if l.size == 0 {
-		return 0
-	}
-	return len(l.verts) / l.size
-}
-
-// simplex returns the i-th simplex as a slice into the arena.
-func (l *Level) simplex(i int) []uint32 {
-	return l.verts[i*l.size : (i+1)*l.size]
-}
-
-// index returns the position of the sorted vertex list s in the level, or
-// -1 when absent, by binary search over the arena.
-func (l *Level) index(s []uint32) int {
-	n := l.Count()
-	i := sort.Search(n, func(i int) bool {
-		return !lexLessU32(l.simplex(i), s)
-	})
-	if i == n || !equalU32(l.simplex(i), s) {
-		return -1
-	}
-	return i
-}
-
-func lexLessU32(a, b []uint32) bool {
-	for i := range a {
-		if a[i] != b[i] {
-			return a[i] < b[i]
-		}
-	}
-	return false // equal length by construction
-}
-
-func equalU32(a, b []uint32) bool {
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
-
-// ChainComplex holds the simplex levels of a complex up to a dimension cap,
-// built in a single pass over the facets. Boundary matrices are constructed
-// on demand (and dropped after use by ReducedBetti), so the peak footprint
-// is one matrix plus its reduction state.
-type ChainComplex struct {
-	levels []*Level // levels[d] = simplexes of dimension d (d+1 vertices)
-}
-
-// NewChainComplex enumerates every simplex of c of dimension ≤ maxDim in one
-// facet walk and returns the level table. Dimensions above the complex's own
-// dimension come back as empty levels.
-//
-// Facets re-emit shared faces, so the raw subset stream is far larger than
-// the distinct level (Σ_f 2^|f| vs the union). The builder therefore streams:
-// per-level pending buffers are sorted, deduplicated and merged into a sorted
-// accumulator every flushBudget entries, keeping both the peak footprint and
-// the sort cost proportional to the output plus a constant-size batch.
-func NewChainComplex(c Complex, maxDim int) (*ChainComplex, error) {
-	if maxDim < 0 {
-		return nil, fmt.Errorf("homology: negative dimension cap %d", maxDim)
-	}
-	facets := c.Facets()
-	cc := &ChainComplex{levels: make([]*Level, maxDim+1)}
-	if len(facets) == 0 {
-		for d := range cc.levels {
-			cc.levels[d] = &Level{size: d + 1}
-		}
-		return cc, nil
-	}
-	// The facet walk shards across the worker pool: each shard streams its
-	// facet range into private level builders, and the per-shard sorted
-	// arenas are folded into the level union afterwards. The union is the
-	// same sorted set regardless of shard boundaries, so the table is
-	// deterministic across parallelism.
-	shards := par.NumShards(int64(len(facets)))
-	perShard := make([][][]uint32, shards) // perShard[shard][size] = sorted arena
-	par.ForEachShardN(int64(len(facets)), shards, &par.Ctl{}, func(shard int, from, to int64, _ *par.Ctl) {
-		perShard[shard] = buildLevels(facets[from:to], maxDim)
-	})
-	for d := 0; d <= maxDim; d++ {
-		size := d + 1
-		sorted := perShard[0][size]
-		var scratch []uint32
-		for s := 1; s < shards; s++ {
-			next := perShard[s][size]
-			if len(next) == 0 {
-				continue
-			}
-			if len(sorted) == 0 {
-				sorted = next
-				continue
-			}
-			scratch = mergeDedup(size, sorted, next, scratch[:0])
-			sorted, scratch = scratch, sorted
-		}
-		cc.levels[d] = &Level{size: size, verts: sorted}
-	}
-	return cc, nil
-}
-
-// buildLevels streams one facet range into sorted, deduplicated level
-// arenas, indexed by simplex size.
-func buildLevels(facets [][]int, maxDim int) [][]uint32 {
-	builders := make([]*levelBuilder, maxDim+2) // indexed by simplex size
-	for size := 1; size <= maxDim+1; size++ {
-		builders[size] = &levelBuilder{size: size}
-	}
-	buf := make([]uint32, maxDim+1)
-	maxVert := uint32(0)
-	for _, f := range facets {
-		if len(f) > 0 && uint32(f[len(f)-1]) > maxVert {
-			maxVert = uint32(f[len(f)-1]) // facets are sorted ascending
-		}
-		maxSize := len(f)
-		if maxSize > maxDim+1 {
-			maxSize = maxDim + 1
-		}
-		for size := 1; size <= maxSize; size++ {
-			b := builders[size]
-			emitSubsets(f, size, buf[:size], 0, 0, &b.pending)
-			if len(b.pending) >= flushBudget {
-				b.flush(maxVert)
-			}
-		}
-	}
-	out := make([][]uint32, maxDim+2)
-	for size := 1; size <= maxDim+1; size++ {
-		builders[size].flush(maxVert)
-		out[size] = builders[size].sorted
-	}
-	return out
-}
-
-// flushBudget is the pending-buffer size (in uint32s) at which a level
-// builder sorts, dedups and merges its batch into the accumulator.
-const flushBudget = 1 << 20
-
-// levelBuilder accumulates one level's simplexes: pending holds the raw
-// subset stream of the current batch, sorted the deduplicated union of all
-// flushed batches.
-type levelBuilder struct {
-	size    int
-	pending []uint32
-	sorted  []uint32
-	scratch []uint32 // reused merge destination
-}
-
-// flush sorts and dedups the pending batch and merges it into sorted.
-func (b *levelBuilder) flush(maxVert uint32) {
-	if len(b.pending) == 0 {
-		return
-	}
-	batch := sortDedup(b.size, b.pending, maxVert)
-	if b.sorted == nil {
-		b.sorted = append([]uint32(nil), batch...)
-	} else {
-		b.scratch = mergeDedup(b.size, b.sorted, batch, b.scratch[:0])
-		b.sorted, b.scratch = b.scratch, b.sorted
-	}
-	b.pending = b.pending[:0]
-}
-
-// mergeDedup merges two sorted, deduplicated stride arenas into out,
-// dropping simplexes present in both.
-func mergeDedup(size int, a, b, out []uint32) []uint32 {
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		sa, sb := a[i:i+size], b[j:j+size]
-		switch c := compareU32(sa, sb); {
-		case c < 0:
-			out = append(out, sa...)
-			i += size
-		case c > 0:
-			out = append(out, sb...)
-			j += size
-		default:
-			out = append(out, sa...)
-			i += size
-			j += size
-		}
-	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
-	return out
-}
-
-func compareU32(a, b []uint32) int {
-	for i := range a {
-		if a[i] != b[i] {
-			if a[i] < b[i] {
-				return -1
-			}
-			return 1
-		}
-	}
-	return 0
-}
-
-// emitSubsets appends every size-k subset of the sorted facet f to the
-// arena, in lexicographic order per facet (the global order is restored by
-// dedupLevel's sort).
-func emitSubsets(f []int, k int, buf []uint32, start, depth int, arena *[]uint32) {
-	if depth == k {
-		*arena = append(*arena, buf...)
-		return
-	}
-	for i := start; i <= len(f)-(k-depth); i++ {
-		buf[depth] = uint32(f[i])
-		emitSubsets(f, k, buf, i+1, depth+1, arena)
-	}
-}
-
-// radixCap bounds the counting-sort bucket table; complexes with more
-// vertices than this fall back to a comparison sort.
-const radixCap = 1 << 20
-
-// sortDedup sorts the stride-size arena lexicographically and compacts
-// duplicate simplexes in place, returning the deduplicated prefix. Vertex
-// ids are small integers, so the sort is an LSD radix: one stable counting
-// pass per vertex position, last position first — O(size·n) instead of
-// O(size·n·log n), which dominated the build on >64k-simplex complexes.
-func sortDedup(size int, arena []uint32, maxVert uint32) []uint32 {
-	n := len(arena) / size
-	if n <= 1 {
-		return arena
-	}
-	if maxVert < radixCap {
-		radixSortLevel(size, arena, n, int(maxVert)+1)
-	} else {
-		sort.Sort(&levelSorter{size: size, verts: arena, tmp: make([]uint32, size)})
-	}
-	// Compact duplicates in place: runs of equal simplexes are adjacent.
-	out := arena[:size]
-	for i := 1; i < n; i++ {
-		s := arena[i*size : (i+1)*size]
-		if equalU32(out[len(out)-size:], s) {
-			continue
-		}
-		out = append(out, s...)
-	}
-	return out
-}
-
-// radixSortLevel sorts the arena of n stride-size simplexes lexicographically
-// with stable counting passes over vertex values < numVals. The passes
-// permute an int32 index vector — moving whole simplexes every pass would be
-// O(size²·n) memmove — and the permutation is applied to the arena once.
-func radixSortLevel(size int, arena []uint32, n, numVals int) {
-	idx := make([]int32, n)
-	for i := range idx {
-		idx[i] = int32(i)
-	}
-	next := make([]int32, n)
-	counts := make([]int32, numVals+1)
-	for pos := size - 1; pos >= 0; pos-- {
-		for i := range counts {
-			counts[i] = 0
-		}
-		for _, i := range idx {
-			counts[arena[int(i)*size+pos]+1]++
-		}
-		for v := 1; v <= numVals; v++ {
-			counts[v] += counts[v-1]
-		}
-		for _, i := range idx {
-			v := arena[int(i)*size+pos]
-			next[counts[v]] = i
-			counts[v]++
-		}
-		idx, next = next, idx
-	}
-	dst := make([]uint32, len(arena))
-	for j, i := range idx {
-		copy(dst[j*size:(j+1)*size], arena[int(i)*size:(int(i)+1)*size])
-	}
-	copy(arena, dst)
-}
-
-// levelSorter is the comparison fallback for vertex universes too large for
-// counting passes.
-type levelSorter struct {
-	size  int
-	verts []uint32
-	tmp   []uint32
-}
-
-func (s *levelSorter) Len() int { return len(s.verts) / s.size }
-func (s *levelSorter) Less(i, j int) bool {
-	return lexLessU32(s.verts[i*s.size:(i+1)*s.size], s.verts[j*s.size:(j+1)*s.size])
-}
-func (s *levelSorter) Swap(i, j int) {
-	a, b := s.verts[i*s.size:(i+1)*s.size], s.verts[j*s.size:(j+1)*s.size]
-	copy(s.tmp, a)
-	copy(a, b)
-	copy(b, s.tmp)
-}
-
-// Dim returns the highest dimension the table carries (the construction
-// cap, not necessarily the complex's own dimension).
-func (cc *ChainComplex) Dim() int { return len(cc.levels) - 1 }
-
-// SimplexCount returns the number of distinct simplexes of the given
-// dimension (0 outside the table).
-func (cc *ChainComplex) SimplexCount(dim int) int {
-	if dim < 0 || dim > cc.Dim() {
-		return 0
-	}
-	return cc.levels[dim].Count()
-}
-
-// TotalSimplexes returns the number of distinct simplexes across every
-// tabled dimension.
-func (cc *ChainComplex) TotalSimplexes() int {
-	total := 0
-	for _, l := range cc.levels {
-		total += l.Count()
-	}
-	return total
-}
-
-// IsEmpty reports whether the complex has no vertices.
-func (cc *ChainComplex) IsEmpty() bool { return cc.levels[0].Count() == 0 }
-
-// Boundary builds ∂_q in CSC form: columns are the q-simplexes, rows the
-// (q−1)-simplexes. q must be ≥ 1 and within the table.
-func (cc *ChainComplex) Boundary(q int) *Boundary {
-	cols, rows := cc.levels[q], cc.levels[q-1]
-	numCols := cols.Count()
-	stride := cols.size
-	m := &Boundary{
-		numRows: rows.Count(),
-		numCols: numCols,
-		stride:  stride,
-		rows:    make([]uint32, numCols*stride),
-	}
-	face := make([]uint32, stride-1)
-	for j := 0; j < numCols; j++ {
-		s := cols.simplex(j)
-		entries := m.rows[j*stride : (j+1)*stride]
-		for omit := 0; omit < stride; omit++ {
-			copy(face, s[:omit])
-			copy(face[omit:], s[omit+1:])
-			// The closure property guarantees every face is present; a miss
-			// would mean the level table is internally inconsistent.
-			entries[omit] = uint32(rows.index(face))
-		}
-		sortColumn(entries)
-	}
-	return m
-}
-
-// sortColumn sorts a short row-index slice ascending (insertion sort: the
-// column length is the simplex size, typically < 16).
-func sortColumn(a []uint32) {
-	for i := 1; i < len(a); i++ {
-		v := a[i]
-		j := i - 1
-		for j >= 0 && a[j] > v {
-			a[j+1] = a[j]
-			j--
-		}
-		a[j+1] = v
-	}
-}
-
-// Boundary is a GF(2) boundary matrix in CSC form. Every column has exactly
-// stride entries (each face of a simplex occurs once), so the column pointer
-// is implicit: column j is rows[j*stride : (j+1)*stride], sorted ascending.
-type Boundary struct {
-	numRows int
-	numCols int
-	stride  int
-	rows    []uint32
-}
-
-// NumRows returns the row count ((q−1)-simplexes).
-func (m *Boundary) NumRows() int { return m.numRows }
-
-// NumCols returns the column count (q-simplexes).
-func (m *Boundary) NumCols() int { return m.numCols }
-
-// Rank computes the GF(2) rank by sharded column reduction.
-func (m *Boundary) Rank() int {
-	rank, _ := m.reduce(nil)
-	return rank
-}
-
-// reduce runs the sharded reduction. cleared[j], when non-nil, marks columns
-// known to vanish (the clearing twist); they are skipped. It returns the
-// rank and the pivot-row marks of the reduced matrix, which feed the next
-// (lower) dimension's clearing.
-//
-// Phase 1 reduces each contiguous column block locally in parallel: within a
-// block, columns are only ever added leftward, so the surviving columns span
-// the same space as the block and come out in ascending column order. Phase
-// 2 walks the blocks sequentially in block order and reduces every survivor
-// against the global pivot table. Rank over a field is unique, so the result
-// does not depend on the block count or on scheduling.
-func (m *Boundary) reduce(cleared []bool) (int, []bool) {
-	if m.numCols == 0 || m.numRows == 0 {
-		return 0, nil
-	}
-	shards := par.NumShards(int64(m.numCols))
-	locals := make([][][]uint32, shards)
-	par.ForEachShardN(int64(m.numCols), shards, &par.Ctl{}, func(shard int, from, to int64, _ *par.Ctl) {
-		r := newReducer(m.numRows)
-		// One backing arena for the block's unreduced columns; columns that
-		// survive untouched keep pointing into it.
-		arena := make([]uint32, int(to-from)*m.stride)
-		for j := from; j < to; j++ {
-			if cleared != nil && cleared[j] {
-				continue
-			}
-			col := arena[:m.stride:m.stride]
-			arena = arena[m.stride:]
-			copy(col, m.rows[int(j)*m.stride:(int(j)+1)*m.stride])
-			r.add(col)
-		}
-		locals[shard] = r.cols
-	})
-
-	global := newReducer(m.numRows)
-	for _, block := range locals {
-		for _, col := range block {
-			global.add(col)
-		}
-	}
-	pivotRows := make([]bool, m.numRows)
-	for row, p := range global.pivot {
-		if p >= 0 {
-			pivotRows[row] = true
-		}
-	}
-	return global.rank, pivotRows
-}
-
-// reducer is one pivot-table column reduction: pivot[r] indexes the stored
-// reduced column whose largest row (its "low") is r, or -1.
-type reducer struct {
-	pivot []int32
-	cols  [][]uint32
-	spare []uint32
-	rank  int
-}
-
-func newReducer(numRows int) *reducer {
-	pivot := make([]int32, numRows)
-	for i := range pivot {
-		pivot[i] = -1
-	}
-	return &reducer{pivot: pivot}
-}
-
-// add reduces col (taking ownership of its storage) against the pivot table
-// and installs it as a new pivot when it does not vanish, reporting whether
-// the rank grew.
-func (r *reducer) add(col []uint32) bool {
-	for len(col) > 0 {
-		low := col[len(col)-1]
-		p := r.pivot[low]
-		if p < 0 {
-			r.pivot[low] = int32(len(r.cols))
-			r.cols = append(r.cols, col)
-			r.rank++
-			return true
-		}
-		col = r.symdiff(col, r.cols[p])
-	}
-	return false
-}
-
-// symdiff returns the GF(2) sum (symmetric difference) of the sorted columns
-// a and b, writing into the spare buffer and recycling a's storage as the
-// next spare — steady-state reduction allocates only when a column outgrows
-// every previous one.
-func (r *reducer) symdiff(a, b []uint32) []uint32 {
-	out := r.spare[:0]
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			out = append(out, a[i])
-			i++
-		case a[i] > b[j]:
-			out = append(out, b[j])
-			j++
-		default:
-			i++
-			j++
-		}
-	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
-	r.spare = a[:0]
-	return out
-}
-
 // ReducedBetti computes the reduced GF(2) Betti numbers β̃_0 … β̃_maxDim of
-// the complex: β̃_q = dim ker ∂_q − dim im ∂_{q+1} with the augmented chain
-// complex, so β̃_0 is (components − 1). The empty complex is rejected, as in
-// the seed implementation.
+// the complex on the hybrid engine: β̃_q = dim ker ∂_q − dim im ∂_{q+1}
+// with the augmented chain complex, so β̃_0 is (components − 1). The empty
+// complex is rejected, as in the seed implementation.
 func ReducedBetti(c Complex, maxDim int) ([]int, error) {
+	return reducedBettiOf(c, maxDim, false)
+}
+
+// ReducedBettiSparse is ReducedBetti on the PR-3 pure-sparse reduction —
+// merge-based column XOR, no apparent pass, no dense blocks — kept as an
+// independent cross-check of the hybrid engine (and as the -engine=sparse
+// CLI backend).
+func ReducedBettiSparse(c Complex, maxDim int) ([]int, error) {
+	return reducedBettiOf(c, maxDim, true)
+}
+
+func reducedBettiOf(c Complex, maxDim int, sparse bool) ([]int, error) {
 	if maxDim < 0 {
 		return nil, fmt.Errorf("homology: negative homology dimension %d", maxDim)
 	}
@@ -566,14 +73,24 @@ func ReducedBetti(c Complex, maxDim int) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
-	return cc.ReducedBetti(maxDim)
+	return cc.reducedBetti(maxDim, sparse)
 }
 
-// ReducedBetti computes β̃_0 … β̃_maxDim from the level table, which must
-// extend to dimension maxDim+1. Boundary matrices are built top dimension
-// first so each reduction's pivot rows clear columns of the next one, and
-// each matrix is dropped before the next is built.
+// ReducedBetti computes β̃_0 … β̃_maxDim from the level table on the hybrid
+// engine. The table must extend to dimension maxDim+1. Boundary matrices
+// are built top dimension first so each reduction's pivot rows clear
+// columns of the next one, and each matrix is dropped before the next is
+// built.
 func (cc *ChainComplex) ReducedBetti(maxDim int) ([]int, error) {
+	return cc.reducedBetti(maxDim, false)
+}
+
+// ReducedBettiSparse is ReducedBetti on the pure-sparse reduction.
+func (cc *ChainComplex) ReducedBettiSparse(maxDim int) ([]int, error) {
+	return cc.reducedBetti(maxDim, true)
+}
+
+func (cc *ChainComplex) reducedBetti(maxDim int, sparse bool) ([]int, error) {
 	if maxDim < 0 || maxDim+1 > cc.Dim() {
 		return nil, fmt.Errorf("homology: dimension %d outside level table (cap %d)", maxDim, cc.Dim()-1)
 	}
@@ -589,7 +106,11 @@ func (cc *ChainComplex) ReducedBetti(maxDim int) ([]int, error) {
 			continue
 		}
 		m := cc.Boundary(q)
-		rank[q], cleared = m.reduce(cleared)
+		if sparse {
+			rank[q], cleared = m.reduceSparse(cleared)
+		} else {
+			rank[q], cleared = m.reduceHybrid(cleared)
+		}
 	}
 	betti := make([]int, maxDim+1)
 	for q := 0; q <= maxDim; q++ {

@@ -136,24 +136,31 @@ func TestPseudosphereConnectivity(t *testing.T) {
 	}
 }
 
-// TestDeterministicAcrossParallelism pins the sharded reduction's contract:
-// Betti vectors are identical at every worker count, including the inline
-// single-shard path.
+// TestDeterministicAcrossParallelism pins the sharded reduction's contract
+// for both engines: Betti vectors are identical at every worker count,
+// including the inline single-shard path, and identical between the hybrid
+// and pure-sparse reductions.
 func TestDeterministicAcrossParallelism(t *testing.T) {
 	defer par.SetParallelism(0)
 	// Big enough that par.NumShards fans out (> 4096 columns at dim 4).
 	facets := pseudosphereFacets([]int{3, 3, 3, 3, 3, 2, 2})
 	var want []int
-	for _, workers := range []int{1, 2, 8} {
+	for _, workers := range []int{1, 2, 5, 8} {
 		par.SetParallelism(workers)
 		got := betti(t, facets, 5)
+		sparse, err := ReducedBettiSparse(facetComplex(facets), 5)
+		if err != nil {
+			t.Fatalf("parallelism %d: sparse: %v", workers, err)
+		}
 		if want == nil {
 			want = got
-			continue
 		}
 		for q := range want {
 			if got[q] != want[q] {
 				t.Errorf("parallelism %d: β̃_%d = %d, want %d", workers, q, got[q], want[q])
+			}
+			if sparse[q] != want[q] {
+				t.Errorf("parallelism %d: sparse β̃_%d = %d, want %d", workers, q, sparse[q], want[q])
 			}
 		}
 	}
@@ -209,6 +216,39 @@ func TestLevelIndex(t *testing.T) {
 	if got := edges.Count(); got != 4 {
 		t.Fatalf("edge count %d, want 4", got)
 	}
+	if edges.width == 0 {
+		t.Fatalf("a 6-vertex complex should build packed levels")
+	}
+	buf := make([]uint32, 2)
+	for i := 0; i < edges.Count(); i++ {
+		if got := edges.index(edges.unpack(i, buf)); got != i {
+			t.Errorf("index(unpack %d) = %d", i, got)
+		}
+		if got := edges.indexKey(edges.keys[i]); got != i {
+			t.Errorf("indexKey(key %d) = %d", i, got)
+		}
+	}
+	if got := edges.index([]uint32{0, 1}); got != -1 {
+		t.Errorf("index of absent edge = %d, want -1", got)
+	}
+}
+
+// TestLevelIndexArenaForm pins the uint32-arena level form on a vertex
+// universe too wide to pack (vertex ids near 2^31 force width 31, and
+// 3-vertex simplexes need 93 bits).
+func TestLevelIndexArenaForm(t *testing.T) {
+	const big = 1 << 30
+	cc, err := NewChainComplex(facetComplex{{0, 2, big}, {1, 2}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := cc.levels[1]
+	if edges.width != 0 {
+		t.Fatalf("wide universe unexpectedly packed (width %d)", edges.width)
+	}
+	if got := edges.Count(); got != 4 {
+		t.Fatalf("edge count %d, want 4", got)
+	}
 	for i := 0; i < edges.Count(); i++ {
 		if got := edges.index(edges.simplex(i)); got != i {
 			t.Errorf("index(simplex %d) = %d", i, got)
@@ -216,5 +256,15 @@ func TestLevelIndex(t *testing.T) {
 	}
 	if got := edges.index([]uint32{0, 1}); got != -1 {
 		t.Errorf("index of absent edge = %d, want -1", got)
+	}
+	b, err := cc.ReducedBetti(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Triangle face {0,2,big} plus the dangling edge {1,2}: contractible.
+	for q, v := range b {
+		if v != 0 {
+			t.Errorf("β̃_%d = %d, want 0", q, v)
+		}
 	}
 }

@@ -129,6 +129,55 @@ func probeLimit() int {
 	return stockProbeLimit
 }
 
+var clauseBudgetOverride atomic.Int64
+
+// SetClauseStoreBudget bounds the learned-clause stores and switches them
+// from the stock append-only truncation to deterministic aging/eviction: a
+// full store drops its lower-scored half (longest clauses first — length is
+// the LBD stand-in — oldest among equals) and keeps learning. n is the
+// shared probe store's clause bound; each subtree task's private store gets
+// max(n/4, 16). n ≤ 0 restores the stock policy (append-only at the
+// compile-time bounds). Solvable and the witness map are invariant across
+// budgets — learned clauses only prune solution-free subtrees and the
+// branch order is fixed — while node statistics are comparable only between
+// runs using the same budget (each is still byte-identical across
+// -parallelism).
+func SetClauseStoreBudget(n int) {
+	if n < 0 {
+		n = 0
+	}
+	clauseBudgetOverride.Store(int64(n))
+}
+
+// CurrentClauseStoreBudget reports the clause-store budget (0 = stock).
+func CurrentClauseStoreBudget() int { return int(clauseBudgetOverride.Load()) }
+
+// newSharedNogoodStore builds the probe's shared clause store under the
+// active bounding policy.
+func newSharedNogoodStore(numViews, numValues int) *nogoodStore {
+	if n := clauseBudgetOverride.Load(); n > 0 {
+		ng := newNogoodStore(numViews, numValues, int(n), maxNogoodLen)
+		ng.evict = true
+		return ng
+	}
+	return newNogoodStore(numViews, numValues, maxSharedNogoods, maxNogoodLen)
+}
+
+// newTaskNogoodStore builds one subtree task's private clause store under
+// the active bounding policy.
+func newTaskNogoodStore(numViews, numValues int) *nogoodStore {
+	if n := clauseBudgetOverride.Load(); n > 0 {
+		budget := int(n) / 4
+		if budget < 16 {
+			budget = 16
+		}
+		ng := newNogoodStore(numViews, numValues, budget, maxNogoodLen)
+		ng.evict = true
+		return ng
+	}
+	return newNogoodStore(numViews, numValues, maxTaskNogoods, maxNogoodLen)
+}
+
 // SearchStats breaks the engine's deterministic node accounting down by
 // phase. All fields are identical for every parallelism setting; under
 // SearchSeq they stay zero (SolveResult.Nodes carries the count).
@@ -362,7 +411,7 @@ func (pr *parallelRun) runTask(task searchTask, d *par.Deque) {
 		return
 	}
 	t := pr.tables
-	local := newNogoodStore(len(t.views), t.numValues, maxTaskNogoods, maxNogoodLen)
+	local := newTaskNogoodStore(len(t.views), t.numValues)
 	var s *cspState
 	if pooled := pr.statePool.Get(); pooled != nil {
 		s = pooled.(*cspState)
@@ -433,7 +482,7 @@ type parallelResult struct {
 // solveParallel runs the full parallel engine: probe, decomposition,
 // work-stealing sweep, rank-ordered reduction.
 func solveParallel(t *solveTables, budget int) (parallelResult, error) {
-	shared := newNogoodStore(len(t.views), t.numValues, maxSharedNogoods, maxNogoodLen)
+	shared := newSharedNogoodStore(len(t.views), t.numValues)
 	po := probe(t, shared, budget)
 	res := parallelResult{nodes: po.nodes}
 	res.stats.ProbeNodes = po.nodes

@@ -262,12 +262,19 @@ func (c *cbjCtx) run() searchStatus {
 				break // descend deeper
 			}
 			confSet := s.analyzeConflict()
-			s.unwind(fr.mark)
 			if containsKey(confSet, fr.curKey) {
+				// Learn BEFORE unwinding the failed assignment: the clause's
+				// matched counter starts fully saturated, which is only true
+				// while every conflict literal — including this level's own —
+				// is still on the trail. (Learning after the unwind left the
+				// counter permanently one high, so the clause fired with one
+				// literal unassigned: unsound pruning.)
 				s.learnNogood(confSet)
+				s.unwind(fr.mark)
 				mergeConf(&fr.conf, confSet, fr.curKey)
 				continue advance
 			}
+			s.unwind(fr.mark)
 			// The conflict does not involve this level's value at all:
 			// every sibling value dies the same way, so close the level
 			// with the child's conflict set directly.

@@ -315,14 +315,16 @@ func (c *AbstractComplex) Skeleton(d int) (*AbstractComplex, error) {
 	return NewAbstract(c.numVertices, gens)
 }
 
-// EulerCharacteristic returns Σ (−1)^q · (number of q-simplexes).
+// EulerCharacteristic returns Σ (−1)^q · (number of q-simplexes), counting
+// every level from one facet walk (SimplexCount per dimension would re-walk
+// the facets once per q).
 func (c *AbstractComplex) EulerCharacteristic() int {
 	chi := 0
-	for q := 0; q <= c.Dimension(); q++ {
+	for q, level := range c.SimplexLevels(c.Dimension()) {
 		if q%2 == 0 {
-			chi += c.SimplexCount(q)
+			chi += len(level)
 		} else {
-			chi -= c.SimplexCount(q)
+			chi -= len(level)
 		}
 	}
 	return chi

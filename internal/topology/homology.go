@@ -15,17 +15,22 @@ import (
 type HomologyEngine int32
 
 const (
-	// EngineSparse is the sharded CSC engine in internal/homology: no
-	// vertex-count or simplex-size caps, block column reduction across the
-	// worker pool. The default.
-	EngineSparse HomologyEngine = iota
+	// EngineHybrid is the hybrid-column engine in internal/homology:
+	// apparent-pairs preprocessing over an implicit boundary matrix, sparse
+	// columns that promote to bit-packed dense blocks, pooled arenas, block
+	// reduction across the worker pool. The default.
+	EngineHybrid HomologyEngine = iota
+	// EngineSparse is the PR-3 pure-sparse CSC reduction (merge-based XOR,
+	// no apparent pass), kept as an independent cross-check of the hybrid
+	// engine and reachable via the cmds' -engine=sparse flag.
+	EngineSparse
 	// EnginePacked is the seed implementation — single-word bit-packed
 	// columns with a dense-column generic fallback — kept as the test
 	// oracle and reachable via the cmds' -engine=packed flag.
 	EnginePacked
 )
 
-var homologyEngine atomic.Int32 // EngineSparse unless overridden
+var homologyEngine atomic.Int32 // EngineHybrid unless overridden
 
 // CurrentHomologyEngine returns the active reduction backend.
 func CurrentHomologyEngine() HomologyEngine { return HomologyEngine(homologyEngine.Load()) }
@@ -49,8 +54,9 @@ func SetHomologyEngine(e HomologyEngine) { homologyEngine.Store(int32(e)) }
 // the paper's connectivity claims on concrete instances: a violation would
 // refute the claim outright, agreement corroborates it. See DESIGN.md.
 //
-// The reduction runs on the sparse sharded engine (internal/homology) by
-// default; SetHomologyEngine(EnginePacked) restores the seed oracle path.
+// The reduction runs on the hybrid-column engine (internal/homology) by
+// default; SetHomologyEngine(EngineSparse) selects the pure-sparse PR-3
+// reduction and SetHomologyEngine(EnginePacked) restores the seed oracle.
 func ReducedBettiNumbers(c *AbstractComplex, maxDim int) ([]int, error) {
 	if maxDim < 0 {
 		return nil, fmt.Errorf("topology: negative homology dimension %d", maxDim)
@@ -58,10 +64,42 @@ func ReducedBettiNumbers(c *AbstractComplex, maxDim int) ([]int, error) {
 	if c.IsEmpty() {
 		return nil, fmt.Errorf("topology: reduced homology of the empty complex is undefined here")
 	}
+	switch CurrentHomologyEngine() {
+	case EnginePacked:
+		return ReducedBettiNumbersOracle(c, maxDim)
+	case EngineSparse:
+		return homology.ReducedBettiSparse(c, maxDim)
+	}
+	return homology.ReducedBetti(c, maxDim)
+}
+
+// ReducedBettiNumbersFromLevels is ReducedBettiNumbers for callers that
+// already hold the complex's SimplexLevels output (which must extend to
+// maxDim+1): the level table feeds the engine directly, skipping the
+// duplicate facet walk the facet-based entry would re-run. The packed
+// oracle has no level-table form, so under EnginePacked this falls back to
+// the complex itself.
+func ReducedBettiNumbersFromLevels(c *AbstractComplex, levels [][][]int, maxDim int) ([]int, error) {
+	if maxDim < 0 {
+		return nil, fmt.Errorf("topology: negative homology dimension %d", maxDim)
+	}
+	if c.IsEmpty() {
+		return nil, fmt.Errorf("topology: reduced homology of the empty complex is undefined here")
+	}
+	if maxDim+1 >= len(levels) {
+		return nil, fmt.Errorf("topology: levels reach dimension %d, need %d", len(levels)-1, maxDim+1)
+	}
 	if CurrentHomologyEngine() == EnginePacked {
 		return ReducedBettiNumbersOracle(c, maxDim)
 	}
-	return homology.ReducedBetti(c, maxDim)
+	cc, err := homology.NewChainComplexFromLevels(levels)
+	if err != nil {
+		return nil, err
+	}
+	if CurrentHomologyEngine() == EngineSparse {
+		return cc.ReducedBettiSparse(maxDim)
+	}
+	return cc.ReducedBetti(maxDim)
 }
 
 // ReducedBettiNumbersOracle is the seed GF(2) reduction — the bit-packed

@@ -228,54 +228,67 @@ func genericBetti(c *AbstractComplex, maxDim int) []int {
 	return betti
 }
 
-// TestSparsePackedGenericCrossCheck fuzzes deterministically-seeded random
-// complexes on ≤ 6 vertices and requires the sparse engine, the bit-packed
-// fast path and the generic fallback to produce identical Betti vectors in
-// every dimension — the three implementations share no reduction code.
-func TestSparsePackedGenericCrossCheck(t *testing.T) {
-	rng := rand.New(rand.NewSource(20200613))
-	for trial := 0; trial < 200; trial++ {
-		numVerts := 2 + rng.Intn(5) // 2..6
-		numGens := 1 + rng.Intn(6)
-		var gens [][]int
-		for i := 0; i < numGens; i++ {
-			size := 1 + rng.Intn(numVerts)
-			s := make([]int, size)
-			for j := range s {
-				s[j] = rng.Intn(numVerts)
+// TestHybridSparsePackedGenericCrossCheck fuzzes deterministically-seeded
+// random complexes on ≤ 6 vertices and requires the hybrid engine, the
+// pure-sparse engine, the bit-packed fast path and the generic fallback to
+// produce identical Betti vectors in every dimension — the implementations
+// share no reduction code. The whole corpus runs twice: once at the stock
+// sparse→dense promotion threshold (columns this small never promote) and
+// once with the threshold forced to 2 entries, so reduced columns straddle
+// the promotion boundary and the dense word-XOR, the dense-vs-sparse mixes
+// and the sparse merges are all exercised on the same instances.
+func TestHybridSparsePackedGenericCrossCheck(t *testing.T) {
+	defer homology.SetPromotionThreshold(0)
+	for _, promote := range []int{0, 2} {
+		homology.SetPromotionThreshold(promote)
+		rng := rand.New(rand.NewSource(20200613))
+		for trial := 0; trial < 200; trial++ {
+			numVerts := 2 + rng.Intn(5) // 2..6
+			numGens := 1 + rng.Intn(6)
+			var gens [][]int
+			for i := 0; i < numGens; i++ {
+				size := 1 + rng.Intn(numVerts)
+				s := make([]int, size)
+				for j := range s {
+					s[j] = rng.Intn(numVerts)
+				}
+				gens = append(gens, s)
 			}
-			gens = append(gens, s)
-		}
-		c, err := NewAbstract(numVerts, gens)
-		if err != nil || c.IsEmpty() {
-			continue
-		}
-		maxDim := c.Dimension()
-		sparse, err := homology.ReducedBetti(c, maxDim)
-		if err != nil {
-			t.Fatalf("trial %d: sparse: %v", trial, err)
-		}
-		packed, ok := reducedBettiPacked(c, maxDim)
-		if !ok {
-			t.Fatalf("trial %d: packed path rejected a %d-vertex complex", trial, numVerts)
-		}
-		generic := genericBetti(c, maxDim)
-		for q := 0; q <= maxDim; q++ {
-			if sparse[q] != packed[q] || sparse[q] != generic[q] {
-				t.Errorf("trial %d (gens %v): dim %d: sparse %d, packed %d, generic %d",
-					trial, gens, q, sparse[q], packed[q], generic[q])
+			c, err := NewAbstract(numVerts, gens)
+			if err != nil || c.IsEmpty() {
+				continue
+			}
+			maxDim := c.Dimension()
+			hybrid, err := homology.ReducedBetti(c, maxDim)
+			if err != nil {
+				t.Fatalf("promote=%d trial %d: hybrid: %v", promote, trial, err)
+			}
+			sparse, err := homology.ReducedBettiSparse(c, maxDim)
+			if err != nil {
+				t.Fatalf("promote=%d trial %d: sparse: %v", promote, trial, err)
+			}
+			packed, ok := reducedBettiPacked(c, maxDim)
+			if !ok {
+				t.Fatalf("trial %d: packed path rejected a %d-vertex complex", trial, numVerts)
+			}
+			generic := genericBetti(c, maxDim)
+			for q := 0; q <= maxDim; q++ {
+				if hybrid[q] != packed[q] || hybrid[q] != generic[q] || hybrid[q] != sparse[q] {
+					t.Errorf("promote=%d trial %d (gens %v): dim %d: hybrid %d, sparse %d, packed %d, generic %d",
+						promote, trial, gens, q, hybrid[q], sparse[q], packed[q], generic[q])
+				}
 			}
 		}
 	}
 }
 
-// TestEngineSwitch pins that both engine settings answer through
-// ReducedBettiNumbers and agree.
+// TestEngineSwitch pins that every engine setting answers through
+// ReducedBettiNumbers and agrees.
 func TestEngineSwitch(t *testing.T) {
-	defer SetHomologyEngine(EngineSparse)
+	defer SetHomologyEngine(EngineHybrid)
 	circle := mustAbstract(t, 3, [][]int{{0, 1}, {1, 2}, {0, 2}})
 	want := []int{0, 1}
-	for _, e := range []HomologyEngine{EngineSparse, EnginePacked} {
+	for _, e := range []HomologyEngine{EngineHybrid, EngineSparse, EnginePacked} {
 		SetHomologyEngine(e)
 		if got := CurrentHomologyEngine(); got != e {
 			t.Fatalf("CurrentHomologyEngine = %v, want %v", got, e)
@@ -288,6 +301,52 @@ func TestEngineSwitch(t *testing.T) {
 			if betti[q] != want[q] {
 				t.Errorf("engine %v: β̃_%d = %d, want %d", e, q, betti[q], want[q])
 			}
+		}
+	}
+}
+
+// TestReducedBettiNumbersFromLevels pins the levels-accepting entry point
+// against the facet-based one on every engine: a caller holding
+// SimplexLevels output must get identical Betti vectors without the engine
+// re-walking the facets.
+func TestReducedBettiNumbersFromLevels(t *testing.T) {
+	defer SetHomologyEngine(EngineHybrid)
+	cases := []struct {
+		name   string
+		n      int
+		gens   [][]int
+		maxDim int
+	}{
+		{"circle", 3, [][]int{{0, 1}, {1, 2}, {0, 2}}, 1},
+		{"RP²", 6, [][]int{
+			{0, 1, 4}, {0, 1, 5}, {0, 2, 3}, {0, 2, 5}, {0, 3, 4},
+			{1, 2, 3}, {1, 2, 4}, {1, 3, 5}, {2, 4, 5}, {3, 4, 5},
+		}, 2},
+	}
+	for _, tc := range cases {
+		c := mustAbstract(t, tc.n, tc.gens)
+		levels := c.SimplexLevels(tc.maxDim + 1)
+		for _, e := range []HomologyEngine{EngineHybrid, EngineSparse, EnginePacked} {
+			SetHomologyEngine(e)
+			want, err := ReducedBettiNumbers(c, tc.maxDim)
+			if err != nil {
+				t.Fatalf("%s engine %v: %v", tc.name, e, err)
+			}
+			got, err := ReducedBettiNumbersFromLevels(c, levels, tc.maxDim)
+			if err != nil {
+				t.Fatalf("%s engine %v: FromLevels: %v", tc.name, e, err)
+			}
+			for q := range want {
+				if got[q] != want[q] {
+					t.Errorf("%s engine %v: FromLevels β̃_%d = %d, want %d", tc.name, e, q, got[q], want[q])
+				}
+			}
+		}
+		SetHomologyEngine(EngineHybrid)
+		// A level table that stops short of maxDim+1 must be rejected, not
+		// silently treated as a smaller complex.
+		if _, err := ReducedBettiNumbersFromLevels(c, c.SimplexLevels(tc.maxDim), tc.maxDim); err == nil {
+			t.Errorf("%s: undersized level table should be rejected", tc.name)
 		}
 	}
 }

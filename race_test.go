@@ -6,6 +6,7 @@ import (
 
 	"ksettop/internal/combinat"
 	"ksettop/internal/graph"
+	"ksettop/internal/homology"
 	"ksettop/internal/model"
 	"ksettop/internal/par"
 	"ksettop/internal/protocol"
@@ -71,9 +72,10 @@ func TestConcurrentSweepsRaceFree(t *testing.T) {
 
 	// A 7-color × 3-view pseudosphere: the dim-5 level has C(7,6)·3^6 =
 	// 5103 simplexes, above the par engine's inline threshold, so with the
-	// pinned worker count the ∂_5 block reduction genuinely fans out — four
-	// clients interleave the sharded reduction, the level builders and the
-	// other sweeps on the same pool. Join of 7 discrete sets: β̃_0..β̃_4 = 0.
+	// pinned worker count the hybrid ∂_5 pivot pass and block reduction
+	// genuinely fan out — four clients interleave the sharded reduction,
+	// the pooled hybrid reducers, the level builders and the other sweeps
+	// on the same pool. Join of 7 discrete sets: β̃_0..β̃_4 = 0.
 	par.SetParallelism(4)
 	defer par.SetParallelism(0)
 	psComplex, err := topology.PseudosphereComplex([]int{3, 3, 3, 3, 3, 3, 3})
@@ -83,9 +85,9 @@ func TestConcurrentSweepsRaceFree(t *testing.T) {
 
 	const clients = 4
 	var wg sync.WaitGroup
-	errs := make(chan error, clients*5)
+	errs := make(chan error, clients*6)
 	for c := 0; c < clients; c++ {
-		wg.Add(5)
+		wg.Add(6)
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 2; i++ {
@@ -139,6 +141,9 @@ func TestConcurrentSweepsRaceFree(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 2; i++ {
+				// The default hybrid engine: apparent pass + block-sharded
+				// hybrid reduction, drawing pooled reducers concurrently
+				// with the goroutine below.
 				betti, err := topology.ReducedBettiNumbers(psComplex, 4)
 				if err != nil {
 					errs <- err
@@ -148,6 +153,22 @@ func TestConcurrentSweepsRaceFree(t *testing.T) {
 					if b != 0 {
 						t.Errorf("concurrent homology: β̃_%d = %d, want 0", q, b)
 					}
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			// The pure-sparse cross-check engine on the same complex, racing
+			// the hybrid clients above for the worker pool: both must agree
+			// while the reducer pool recycles state under contention.
+			betti, err := homology.ReducedBettiSparse(psComplex, 4)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for q, b := range betti {
+				if b != 0 {
+					t.Errorf("concurrent sparse homology: β̃_%d = %d, want 0", q, b)
 				}
 			}
 		}()
