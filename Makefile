@@ -1,9 +1,9 @@
 GO ?= go
 # Benchmark snapshot index: bump per PR so the perf trajectory accumulates
 # (BENCH_1.json, BENCH_2.json, …).
-BENCH_N ?= 5
+BENCH_N ?= 6
 
-.PHONY: all build test vet race bench benchjson benchcheck experiments clean
+.PHONY: all build test vet race bench benchjson benchcheck chaos experiments clean
 
 all: build test vet
 
@@ -19,6 +19,15 @@ vet:
 # Race-check the packages that fan work out across goroutines.
 race:
 	$(GO) test -race ./internal/par/ ./internal/graph/ ./internal/combinat/ .
+
+# The chaos suite under the race detector: fault injection, cancellation,
+# budget trips, leak checks and the hardened service, each test individually
+# time-boxed so a stuck drain fails fast instead of hanging CI.
+chaos:
+	$(GO) test -race -timeout 10m -run 'Chaos|Fault|Cancel|Leak|Budget|Serve|Flight|Snapshot|Deadline' \
+		./internal/faultinject/ ./internal/par/ ./internal/protocol/ \
+		./internal/model/ ./internal/homology/ ./internal/memo/ \
+		./internal/cli/ ./internal/serve/
 
 # Smoke-run every benchmark once (also re-validates the E1–E17 tables).
 bench:

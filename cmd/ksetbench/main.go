@@ -23,10 +23,16 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"regexp"
 	"runtime"
 	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -39,6 +45,7 @@ import (
 	"ksettop/internal/model"
 	"ksettop/internal/par"
 	"ksettop/internal/protocol"
+	"ksettop/internal/serve"
 	"ksettop/internal/topology"
 )
 
@@ -124,6 +131,24 @@ func run() error {
 		fmt.Printf("%-24s %12.0f ns/op %10d B/op %8d allocs/op\n",
 			b.name, snap.Benchmarks[len(snap.Benchmarks)-1].NsPerOp,
 			r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	// The service rows measure request latency percentiles, not ns/op of a
+	// loop body, so they bypass testing.Benchmark; both come from one load
+	// run. -filter applies per row as usual.
+	if nameRe == nil || nameRe.MatchString("ServeMixedP50") || nameRe.MatchString("ServeMixedP99") {
+		rows, err := serveBench()
+		if err != nil {
+			return fmt.Errorf("service benchmark: %w", err)
+		}
+		for _, row := range rows {
+			if nameRe != nil && !nameRe.MatchString(row.Name) {
+				continue
+			}
+			snap.Benchmarks = append(snap.Benchmarks, row)
+			fmt.Printf("%-24s %12.0f ns/op  (latency percentile over %d requests)\n",
+				row.Name, row.NsPerOp, row.Iterations)
+		}
 	}
 
 	data, err := json.MarshalIndent(snap, "", "  ")
@@ -213,6 +238,92 @@ func compareAgainst(snap snapshot, path string, allowed float64) error {
 			len(failures), allowed*100, failures)
 	}
 	return nil
+}
+
+// serveBench drives the bound-query service end to end — real HTTP over a
+// loopback listener, four concurrent clients, a mixed solve/betti/bounds
+// workload — and reports the p50/p99 request latencies as snapshot rows, so
+// the service's tail behavior is tracked PR over PR alongside the engine
+// micro-benchmarks. A warm-up pass issues each distinct query once first:
+// the rows measure steady-state service overhead (routing, admission,
+// singleflight, memoized engines), not one cold cache fill.
+func serveBench() ([]benchResult, error) {
+	s := serve.New(serve.Config{
+		MaxConcurrent: 16,
+		Logf:          func(string, ...any) {},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	reqs := []struct{ path, body string }{
+		{"/v1/solve", `{"model":"star:n=3","values":3,"k":2}`},
+		{"/v1/betti", `{"model":"star:n=3","values":2,"max_dim":2}`},
+		{"/v1/bounds", `{"model":"star:n=4","rounds":1}`},
+		{"/v1/bounds", `{"model":"stars:n=5,s=2","rounds":1}`},
+	}
+	do := func(i int) error {
+		rq := reqs[i%len(reqs)]
+		resp, err := http.Post(ts.URL+rq.path, "application/json", strings.NewReader(rq.body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: status %d", rq.path, resp.StatusCode)
+		}
+		return nil
+	}
+	for i := range reqs {
+		if err := do(i); err != nil {
+			return nil, fmt.Errorf("warm-up: %w", err)
+		}
+	}
+
+	const total, clients = 400, 4
+	latencies := make([]time.Duration, total)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				start := time.Now()
+				if err := do(i); err != nil {
+					errs[c] = err
+					return
+				}
+				latencies[i] = time.Since(start)
+			}
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p int) float64 {
+		idx := total * p / 100
+		if idx >= total {
+			idx = total - 1
+		}
+		return float64(latencies[idx].Nanoseconds())
+	}
+	return []benchResult{
+		{Name: "ServeMixedP50", Iterations: total, NsPerOp: pct(50)},
+		{Name: "ServeMixedP99", Iterations: total, NsPerOp: pct(99)},
+	}, nil
 }
 
 type bench struct {

@@ -14,7 +14,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
 	"ksettop/internal/cli"
 	"ksettop/internal/core"
@@ -24,8 +23,7 @@ import (
 
 func main() {
 	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "ksetbounds:", err)
-		os.Exit(1)
+		cli.Exit("ksetbounds", err)
 	}
 }
 

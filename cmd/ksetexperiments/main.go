@@ -17,7 +17,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"strings"
 	"time"
 
@@ -28,8 +27,7 @@ import (
 
 func main() {
 	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "ksetexperiments:", err)
-		os.Exit(1)
+		cli.Exit("ksetexperiments", err)
 	}
 }
 

@@ -1,0 +1,99 @@
+// Command ksetserved is the long-running bound-query daemon: an HTTP+JSON
+// service answering solvability, homology and bound queries over closed-above
+// models.
+//
+// Usage:
+//
+//	ksetserved -addr :8080 -memo-snapshot /var/lib/ksettop/memo.snap
+//	ksetserved -addr 127.0.0.1:0 -max-concurrent 4 -request-timeout 10s
+//	ksetserved -faults 'delay:serve.request@1+7:50ms' -fault-seed 42
+//
+// Endpoints:
+//
+//	POST /v1/solve   {"model","values","k","budget?","timeout_ms?"}
+//	POST /v1/betti   {"model","values","max_dim","timeout_ms?"}
+//	POST /v1/bounds  {"model","rounds","timeout_ms?"}
+//	GET  /healthz    liveness
+//	GET  /statz      request/panic/shed/timeout counters
+//
+// The daemon admission-controls concurrency (503 on overload), enforces
+// per-request deadlines (504), returns typed budget rejections (422),
+// isolates worker panics (500, never a crash), coalesces identical
+// in-flight queries, warm-boots from a checksummed memo snapshot
+// (tolerating corruption by starting cold), checkpoints in the background,
+// and drains gracefully on SIGINT/SIGTERM with a final snapshot save.
+//
+// The -faults flag arms the deterministic fault-injection registry inside
+// the daemon itself — the chaos schedule that the test suite runs is
+// available, verbatim, against a production binary.
+package main
+
+import (
+	"context"
+	"flag"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ksettop/internal/cli"
+	"ksettop/internal/faultinject"
+	"ksettop/internal/par"
+	"ksettop/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		cli.Exit("ksetserved", err)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	parallelism := flag.Int("parallelism", 0, "worker-pool size (0 = KSETTOP_PARALLELISM or GOMAXPROCS)")
+	memoFlag := flag.String("memo", "on", cli.MemoFlagUsage)
+	searchFlag := flag.String("search", "parallel", cli.SearchFlagUsage)
+	engineFlag := flag.String("engine", "hybrid", cli.EngineFlagUsage)
+	maxConcurrent := flag.Int("max-concurrent", 8, "concurrent requests admitted before shedding with 503")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "default per-request deadline")
+	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "hard cap on any request deadline")
+	solverBudget := flag.Int("solver-budget", 0, "per-request solver node budget cap (0 = stock 50M)")
+	memoSnapshot := flag.String("memo-snapshot", "", "memo snapshot file: warm boot, background checkpoints, final save on drain (empty = off)")
+	checkpointEvery := flag.Duration("checkpoint-every", time.Minute, "background checkpoint period")
+	drainGrace := flag.Duration("drain-grace", 15*time.Second, "shutdown grace for in-flight requests")
+	faults := flag.String("faults", "", "deterministic fault-injection rules, e.g. 'panic:serve.request@3,delay:par.task@1+100:1ms' (empty = off)")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for the fault-injection schedule")
+	flag.Parse()
+
+	par.SetParallelism(*parallelism)
+	if err := cli.ApplyMemoFlag(*memoFlag); err != nil {
+		return err
+	}
+	if err := cli.ApplySearchFlag(*searchFlag); err != nil {
+		return err
+	}
+	if err := cli.ApplyEngineFlag(*engineFlag); err != nil {
+		return err
+	}
+	if *faults != "" {
+		rules, err := faultinject.ParseRules(*faults)
+		if err != nil {
+			return err
+		}
+		faultinject.Enable(*faultSeed, rules...)
+		defer faultinject.Disable()
+	}
+
+	s := serve.New(serve.Config{
+		MaxConcurrent:   *maxConcurrent,
+		DefaultTimeout:  *requestTimeout,
+		MaxTimeout:      *maxTimeout,
+		MaxSolverBudget: *solverBudget,
+		SnapshotPath:    *memoSnapshot,
+		CheckpointEvery: *checkpointEvery,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return s.Run(ctx, *addr, *drainGrace)
+}

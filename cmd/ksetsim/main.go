@@ -17,7 +17,6 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
-	"os"
 
 	"ksettop/internal/cli"
 	"ksettop/internal/par"
@@ -26,8 +25,7 @@ import (
 
 func main() {
 	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "ksetsim:", err)
-		os.Exit(1)
+		cli.Exit("ksetsim", err)
 	}
 }
 

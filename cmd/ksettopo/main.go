@@ -14,7 +14,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
 	"ksettop/internal/cli"
 	"ksettop/internal/model"
@@ -24,8 +23,7 @@ import (
 
 func main() {
 	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "ksettopo:", err)
-		os.Exit(1)
+		cli.Exit("ksettopo", err)
 	}
 }
 

@@ -1,11 +1,13 @@
 package cli
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"strings"
 
 	"ksettop/internal/memo"
+	"ksettop/internal/model"
 	"ksettop/internal/protocol"
 	"ksettop/internal/topology"
 )
@@ -79,7 +81,10 @@ const MemoSnapshotUsage = "memo snapshot file: loaded before the run when presen
 
 // LoadMemoSnapshot restores the memo caches from the -memo-snapshot file.
 // An empty path or a missing file is a no-op — the first run of a fresh
-// workspace starts cold and writes the snapshot on exit.
+// workspace starts cold and writes the snapshot on exit. A corrupt or
+// truncated snapshot (checksum failure) is also survivable: it warns on
+// stderr and starts cold, so a torn write from a crashed run never bricks
+// the tool; a successful run rewrites the file.
 func LoadMemoSnapshot(path string) error {
 	if path == "" {
 		return nil
@@ -87,7 +92,37 @@ func LoadMemoSnapshot(path string) error {
 	if _, err := os.Stat(path); os.IsNotExist(err) {
 		return nil
 	}
-	return memo.LoadSnapshot(path)
+	if err := memo.LoadSnapshot(path); err != nil {
+		if errors.Is(err, memo.ErrCorruptSnapshot) {
+			fmt.Fprintf(os.Stderr, "warning: %v; starting cold\n", err)
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// ExitCode maps a tool's top-level error to its process exit code: typed
+// resource-budget rejections (protocol.ErrBudgetExceeded,
+// model.ErrEnumerationBudget) exit 2 — distinguishable by scripts from the
+// generic failure exit 1 — and everything else exits 1. A nil error is 0.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, protocol.ErrBudgetExceeded), errors.Is(err, model.ErrEnumerationBudget):
+		return 2
+	}
+	return 1
+}
+
+// Exit prints err prefixed with the tool name (budget errors carry their
+// nodes-spent accounting in the message) and exits with ExitCode(err).
+func Exit(tool string, err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	}
+	os.Exit(ExitCode(err))
 }
 
 // SaveMemoSnapshot persists the memo caches to the -memo-snapshot file; an

@@ -1,12 +1,14 @@
 package cli
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"ksettop/internal/graph"
 	"ksettop/internal/memo"
+	"ksettop/internal/model"
 	"ksettop/internal/protocol"
 	"ksettop/internal/topology"
 )
@@ -91,6 +93,50 @@ func TestSaveMemoSnapshotSkippedWhileDisabled(t *testing.T) {
 	}
 	if !after.ModTime().Equal(before.ModTime()) || after.Size() != before.Size() {
 		t.Error("disabled-memo run rewrote the snapshot file")
+	}
+}
+
+// TestLoadMemoSnapshotCorruptStartsCold pins the torn-write recovery: a
+// corrupt snapshot warns and cold-starts instead of failing the run.
+func TestLoadMemoSnapshotCorruptStartsCold(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.snap")
+	if err := SaveMemoSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-file: the checksummed loader reports ErrCorruptSnapshot.
+	if err := os.WriteFile(path, data[:len(data)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadMemoSnapshot(path); err != nil {
+		t.Fatalf("corrupt snapshot should cold-start, got %v", err)
+	}
+	// Foreign bytes likewise.
+	if err := os.WriteFile(path, []byte("not a snapshot at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadMemoSnapshot(path); err != nil {
+		t.Fatalf("foreign file should cold-start, got %v", err)
+	}
+}
+
+// TestExitCode pins the typed exit-code contract: budget rejections exit 2,
+// other failures 1, success 0.
+func TestExitCode(t *testing.T) {
+	if got := ExitCode(nil); got != 0 {
+		t.Errorf("nil → %d, want 0", got)
+	}
+	if got := ExitCode(os.ErrNotExist); got != 1 {
+		t.Errorf("generic error → %d, want 1", got)
+	}
+	if got := ExitCode(fmt.Errorf("wrapped: %w", &protocol.BudgetError{Budget: 10, Nodes: 11})); got != 2 {
+		t.Errorf("solver budget error → %d, want 2", got)
+	}
+	if got := ExitCode(fmt.Errorf("wrapped: %w", &model.EnumerationBudgetError{Budget: 5, Required: 9})); got != 2 {
+		t.Errorf("enumeration budget error → %d, want 2", got)
 	}
 }
 

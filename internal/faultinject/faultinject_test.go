@@ -1,0 +1,160 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsNoop(t *testing.T) {
+	Disable()
+	if err := Hit("any.point"); err != nil {
+		t.Fatalf("disarmed Hit returned %v", err)
+	}
+	data := []byte{1, 2, 3}
+	if Corrupt("any.point", data) {
+		t.Fatal("disarmed Corrupt reported corruption")
+	}
+	if d := CompressDeadline("any.point", time.Second); d != time.Second {
+		t.Fatalf("disarmed CompressDeadline changed %v", d)
+	}
+}
+
+func TestErrorAtNthHit(t *testing.T) {
+	Enable(1, Rule{Point: "p", Nth: 3, Action: ActionError})
+	defer Disable()
+	for i := 1; i <= 5; i++ {
+		err := Hit("p")
+		if i == 3 {
+			if err == nil {
+				t.Fatalf("hit %d: want error", i)
+			}
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("hit %d: error %v does not match ErrInjected", i, err)
+			}
+			var ie *InjectedError
+			if !errors.As(err, &ie) || ie.Nth != 3 || ie.Point != "p" {
+				t.Fatalf("hit %d: bad InjectedError %+v", i, ie)
+			}
+		} else if err != nil {
+			t.Fatalf("hit %d: unexpected error %v", i, err)
+		}
+	}
+	if got := Hits("p"); got != 5 {
+		t.Fatalf("Hits = %d, want 5", got)
+	}
+}
+
+func TestEveryRepeats(t *testing.T) {
+	Enable(1, Rule{Point: "p", Nth: 2, Every: 3, Action: ActionError})
+	defer Disable()
+	var fired []int
+	for i := 1; i <= 10; i++ {
+		if Hit("p") != nil {
+			fired = append(fired, i)
+		}
+	}
+	want := []int{2, 5, 8}
+	if len(fired) != len(want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestPanicRule(t *testing.T) {
+	Enable(1, Rule{Point: "p", Nth: 1, Action: ActionPanic})
+	defer Disable()
+	defer func() {
+		r := recover()
+		ip, ok := r.(InjectedPanic)
+		if !ok {
+			t.Fatalf("recovered %v (%T), want InjectedPanic", r, r)
+		}
+		if ip.Point != "p" || ip.Nth != 1 {
+			t.Fatalf("bad InjectedPanic %+v", ip)
+		}
+	}()
+	Hit("p")
+	t.Fatal("Hit did not panic")
+}
+
+func TestCorruptDeterministic(t *testing.T) {
+	orig := make([]byte, 64)
+	for i := range orig {
+		orig[i] = byte(i)
+	}
+
+	run := func(seed uint64) []byte {
+		Enable(seed, Rule{Point: "snap", Nth: 1, Action: ActionCorrupt, Flips: 4})
+		defer Disable()
+		data := append([]byte(nil), orig...)
+		if !Corrupt("snap", data) {
+			t.Fatal("Corrupt did not fire")
+		}
+		return data
+	}
+
+	a, b := run(7), run(7)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different corruption")
+	}
+	if bytes.Equal(a, orig) {
+		t.Fatal("corruption changed nothing")
+	}
+	c := run(8)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical corruption")
+	}
+}
+
+func TestCompressDeadline(t *testing.T) {
+	Enable(1, Rule{Point: "req", Nth: 2, Action: ActionDeadline, Frac: 0.25})
+	defer Disable()
+	if d := CompressDeadline("req", time.Second); d != time.Second {
+		t.Fatalf("hit 1 compressed to %v", d)
+	}
+	if d := CompressDeadline("req", time.Second); d != 250*time.Millisecond {
+		t.Fatalf("hit 2 compressed to %v, want 250ms", d)
+	}
+}
+
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules("panic:par.task@3,error:solver.task@5+7,delay:serve.request@1:5ms,corrupt:memo.snapshot:16,deadline:serve.request@2:0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 5 {
+		t.Fatalf("parsed %d rules, want 5", len(rules))
+	}
+	want := []Rule{
+		{Point: "par.task", Nth: 3, Action: ActionPanic},
+		{Point: "solver.task", Nth: 5, Every: 7, Action: ActionError},
+		{Point: "serve.request", Nth: 1, Action: ActionDelay, Delay: 5 * time.Millisecond},
+		{Point: "memo.snapshot", Action: ActionCorrupt, Flips: 16},
+		{Point: "serve.request", Nth: 2, Action: ActionDeadline, Frac: 0.25},
+	}
+	for i, w := range want {
+		if rules[i] != w {
+			t.Fatalf("rule %d = %+v, want %+v", i, rules[i], w)
+		}
+	}
+
+	for _, bad := range []string{
+		"explode:par.task",
+		"error:",
+		"error:p@x",
+		"delay:p@1:notaduration",
+		"corrupt:p:-3",
+		"deadline:p:1.5",
+		"error:p@1:unexpected",
+	} {
+		if _, err := ParseRules(bad); err == nil {
+			t.Fatalf("ParseRules(%q) accepted invalid spec", bad)
+		}
+	}
+}

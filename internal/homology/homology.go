@@ -40,7 +40,12 @@
 // tables but no reduction code.
 package homology
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+
+	"ksettop/internal/par"
+)
 
 // Complex is the read surface the engine needs from a simplicial complex:
 // the maximal simplexes as sorted vertex lists. *topology.AbstractComplex
@@ -54,7 +59,15 @@ type Complex interface {
 // with the augmented chain complex, so β̃_0 is (components − 1). The empty
 // complex is rejected, as in the seed implementation.
 func ReducedBetti(c Complex, maxDim int) ([]int, error) {
-	return reducedBettiOf(c, maxDim, false)
+	return reducedBettiOf(context.Background(), c, maxDim, false)
+}
+
+// ReducedBettiCtx is ReducedBetti bound to a context: ctx expiry cancels the
+// reduction across all workers at shard/poll granularity and returns the
+// context's cause wrapped as "homology: reduction aborted". A completed call
+// is identical to ReducedBetti at every parallelism setting.
+func ReducedBettiCtx(ctx context.Context, c Complex, maxDim int) ([]int, error) {
+	return reducedBettiOf(ctx, c, maxDim, false)
 }
 
 // ReducedBettiSparse is ReducedBetti on the PR-3 pure-sparse reduction —
@@ -62,10 +75,15 @@ func ReducedBetti(c Complex, maxDim int) ([]int, error) {
 // independent cross-check of the hybrid engine (and as the -engine=sparse
 // CLI backend).
 func ReducedBettiSparse(c Complex, maxDim int) ([]int, error) {
-	return reducedBettiOf(c, maxDim, true)
+	return reducedBettiOf(context.Background(), c, maxDim, true)
 }
 
-func reducedBettiOf(c Complex, maxDim int, sparse bool) ([]int, error) {
+// ReducedBettiSparseCtx is ReducedBettiSparse bound to a context.
+func ReducedBettiSparseCtx(ctx context.Context, c Complex, maxDim int) ([]int, error) {
+	return reducedBettiOf(ctx, c, maxDim, true)
+}
+
+func reducedBettiOf(ctx context.Context, c Complex, maxDim int, sparse bool) ([]int, error) {
 	if maxDim < 0 {
 		return nil, fmt.Errorf("homology: negative homology dimension %d", maxDim)
 	}
@@ -73,7 +91,7 @@ func reducedBettiOf(c Complex, maxDim int, sparse bool) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
-	return cc.reducedBetti(maxDim, sparse)
+	return cc.reducedBetti(ctx, maxDim, sparse)
 }
 
 // ReducedBetti computes β̃_0 … β̃_maxDim from the level table on the hybrid
@@ -82,21 +100,41 @@ func reducedBettiOf(c Complex, maxDim int, sparse bool) ([]int, error) {
 // columns of the next one, and each matrix is dropped before the next is
 // built.
 func (cc *ChainComplex) ReducedBetti(maxDim int) ([]int, error) {
-	return cc.reducedBetti(maxDim, false)
+	return cc.reducedBetti(context.Background(), maxDim, false)
+}
+
+// ReducedBettiCtx is ReducedBetti bound to a context (see the package-level
+// ReducedBettiCtx).
+func (cc *ChainComplex) ReducedBettiCtx(ctx context.Context, maxDim int) ([]int, error) {
+	return cc.reducedBetti(ctx, maxDim, false)
 }
 
 // ReducedBettiSparse is ReducedBetti on the pure-sparse reduction.
 func (cc *ChainComplex) ReducedBettiSparse(maxDim int) ([]int, error) {
-	return cc.reducedBetti(maxDim, true)
+	return cc.reducedBetti(context.Background(), maxDim, true)
 }
 
-func (cc *ChainComplex) reducedBetti(maxDim int, sparse bool) ([]int, error) {
+// ReducedBettiSparseCtx is ReducedBettiSparse bound to a context.
+func (cc *ChainComplex) ReducedBettiSparseCtx(ctx context.Context, maxDim int) ([]int, error) {
+	return cc.reducedBetti(ctx, maxDim, true)
+}
+
+func (cc *ChainComplex) reducedBetti(ctx context.Context, maxDim int, sparse bool) ([]int, error) {
 	if maxDim < 0 || maxDim+1 > cc.Dim() {
 		return nil, fmt.Errorf("homology: dimension %d outside level table (cap %d)", maxDim, cc.Dim()-1)
 	}
 	if cc.IsEmpty() {
 		return nil, fmt.Errorf("homology: reduced homology of the empty complex is undefined here")
 	}
+	// One Ctl spans every dimension's reduction, bound once to ctx; an
+	// already-expired context is rejected synchronously (the async Bind
+	// watcher could lose the race against a small first reduction).
+	ctl := &par.Ctl{}
+	if ctx != nil && ctx.Err() != nil {
+		return nil, abortErr(ctl, ctx)
+	}
+	release := ctl.Bind(ctx)
+	defer release()
 	rank := make([]int, maxDim+2)
 	rank[0] = 1 // augmentation ∂_0: rank 1 on a nonempty complex
 	var cleared []bool
@@ -106,10 +144,14 @@ func (cc *ChainComplex) reducedBetti(maxDim int, sparse bool) ([]int, error) {
 			continue
 		}
 		m := cc.Boundary(q)
+		var err error
 		if sparse {
-			rank[q], cleared = m.reduceSparse(cleared)
+			rank[q], cleared, err = m.reduceSparse(ctl, cleared)
 		} else {
-			rank[q], cleared = m.reduceHybrid(cleared)
+			rank[q], cleared, err = m.reduceHybrid(ctl, cleared)
+		}
+		if err != nil {
+			return nil, abortErr(ctl, ctx)
 		}
 	}
 	betti := make([]int, maxDim+1)
@@ -118,4 +160,18 @@ func (cc *ChainComplex) reducedBetti(maxDim int, sparse bool) ([]int, error) {
 		betti[q] = kernel - rank[q+1]
 	}
 	return betti, nil
+}
+
+// abortErr resolves the user-facing error of a cancelled reduction: the
+// sweep's recorded cause (context error, recovered worker panic, injected
+// fault) if any, else the context's, else plain cancellation.
+func abortErr(ctl *par.Ctl, ctx context.Context) error {
+	cause := ctl.Cause()
+	if cause == nil && ctx != nil {
+		cause = context.Cause(ctx)
+	}
+	if cause == nil {
+		cause = context.Canceled
+	}
+	return fmt.Errorf("homology: reduction aborted: %w", cause)
 }

@@ -1,6 +1,8 @@
 package homology
 
 import (
+	"errors"
+
 	"ksettop/internal/par"
 )
 
@@ -43,8 +45,41 @@ func (m *Boundary) NumCols() int { return m.numCols }
 
 // Rank computes the GF(2) rank on the hybrid engine.
 func (m *Boundary) Rank() int {
-	rank, _ := m.reduceHybrid(nil)
+	rank, _, err := m.reduceHybrid(&par.Ctl{}, nil)
+	repanicReduce(err)
 	return rank
+}
+
+// repanicReduce mirrors the legacy par entry points for ctx-less reduction
+// callers: a recovered worker panic is re-raised on the caller's goroutine;
+// any other cause on a private Ctl is impossible outside fault injection and
+// is surfaced the same way rather than silently returning a partial rank.
+func repanicReduce(err error) {
+	if err == nil {
+		return
+	}
+	var pe *par.PanicError
+	if errors.As(err, &pe) {
+		panic(pe)
+	}
+	panic(err)
+}
+
+// pollStride is how many sequential columns the apparent scan and the
+// reconciliation fold process between cancellation polls.
+const pollStride = 4096
+
+// errReduceCancelled marks a reduction stopped without a recorded cause; the
+// entry layer replaces it with the binding context's cause.
+var errReduceCancelled = errors.New("homology: reduction cancelled")
+
+// reduceCancelled resolves the error of a stopped reduction: the recorded
+// cause if any, else the cause-less marker.
+func reduceCancelled(ctl *par.Ctl) error {
+	if cause := ctl.Cause(); cause != nil {
+		return cause
+	}
+	return errReduceCancelled
 }
 
 // columnInto writes the sorted row indices of column j into dst (length
@@ -120,23 +155,37 @@ func sortColumn(a []uint32) {
 // GF(2) rank is unique, so the result is independent of the block count,
 // scheduling, and column representation — the same determinism contract as
 // the sparse path.
-func (m *Boundary) reduceHybrid(cleared []bool) (int, []bool) {
+//
+// ctl carries the sweep's cancellation state (typically bound to a context
+// by the caller): the parallel passes observe it at shard boundaries and
+// every pollStride columns, the sequential scans poll it at the same stride,
+// and a stopped sweep returns the recorded cause — or errReduceCancelled
+// when the stop carried none — with all pooled reducers returned.
+func (m *Boundary) reduceHybrid(ctl *par.Ctl, cleared []bool) (int, []bool, error) {
 	if m.numCols == 0 || m.numRows == 0 {
-		return 0, nil
+		return 0, nil, nil
 	}
 	promote := promotionThreshold(m.numRows)
 
 	lows := make([]uint32, m.numCols)
 	shards := par.NumShards(int64(m.numCols))
-	par.ForEachShardN(int64(m.numCols), shards, &par.Ctl{}, func(_ int, from, to int64, _ *par.Ctl) {
+	if err := par.ForEachShardNCtx(nil, int64(m.numCols), shards, ctl, func(_ int, from, to int64, c *par.Ctl) {
 		face := make([]uint32, m.stride-1)
 		for j := from; j < to; j++ {
+			if j&(pollStride-1) == 0 && c.Stopped() {
+				return
+			}
 			if cleared != nil && cleared[j] {
 				continue
 			}
 			lows[j] = m.lowRow(int(j), face)
 		}
-	})
+	}); err != nil {
+		return 0, nil, err
+	}
+	if ctl.Stopped() {
+		return 0, nil, reduceCancelled(ctl)
+	}
 
 	appar := make([]int32, m.numRows)
 	for i := range appar {
@@ -145,6 +194,9 @@ func (m *Boundary) reduceHybrid(cleared []bool) (int, []bool) {
 	rank := 0
 	var queue []int32
 	for j := 0; j < m.numCols; j++ {
+		if j&(pollStride-1) == 0 && ctl.Stopped() {
+			return 0, nil, reduceCancelled(ctl)
+		}
 		if cleared != nil && cleared[j] {
 			continue
 		}
@@ -160,29 +212,54 @@ func (m *Boundary) reduceHybrid(cleared []bool) (int, []bool) {
 	if len(queue) > 0 {
 		blocks := par.NumShards(int64(len(queue)))
 		reducers = make([]*hybridReducer, blocks)
-		par.ForEachShardN(int64(len(queue)), blocks, &par.Ctl{}, func(shard int, from, to int64, _ *par.Ctl) {
+		err := par.ForEachShardNCtx(nil, int64(len(queue)), blocks, ctl, func(shard int, from, to int64, c *par.Ctl) {
 			r := getReducer(m, appar, promote)
+			reducers[shard] = r
 			// One backing arena per block, carved from the reducer's own
 			// slab: retired slots get swap-recycled into the spare, which is
 			// dropped before any slab rewinds, so the storage is never
 			// scribbled over through a stale alias.
 			arena := r.u32buf(int(to-from) * m.stride)
 			for qi := from; qi < to; qi++ {
+				if qi&(pollStride-1) == 0 && c.Stopped() {
+					return
+				}
 				j := int(queue[qi])
 				store := arena[:m.stride:m.stride]
 				arena = arena[m.stride:]
 				m.columnInto(j, store, r.face)
 				r.add(column{sparse: store, low: int32(store[m.stride-1])})
 			}
-			reducers[shard] = r
 		})
+		if err == nil && ctl.Stopped() {
+			err = reduceCancelled(ctl)
+		}
+		if err != nil {
+			for _, block := range reducers {
+				if block != nil {
+					putReducer(block)
+				}
+			}
+			return 0, nil, err
+		}
 	}
 
 	global := getReducer(m, appar, promote)
+	polled := 0
 	for _, block := range reducers {
 		for i := range block.cols {
+			if polled++; polled&(pollStride-1) == 0 && ctl.Stopped() {
+				break
+			}
 			global.add(block.cols[i])
 		}
+	}
+	if ctl.Stopped() {
+		for _, block := range reducers {
+			putReducer(block)
+		}
+		putReducer(global)
+		return 0, nil, reduceCancelled(ctl)
 	}
 	rank += global.rank
 
@@ -201,7 +278,7 @@ func (m *Boundary) reduceHybrid(cleared []bool) (int, []bool) {
 		putReducer(block)
 	}
 	putReducer(global)
-	return rank, pivotRows
+	return rank, pivotRows, nil
 }
 
 // reduceSparse is the PR-3 pure-sparse reduction, kept bit-for-bit in
@@ -210,19 +287,22 @@ func (m *Boundary) reduceHybrid(cleared []bool) (int, []bool) {
 // blocks locally in parallel; phase 2 folds the survivors sequentially in
 // block order into the global pivot table. Rank over a field is unique, so
 // the result matches reduceHybrid on every input.
-func (m *Boundary) reduceSparse(cleared []bool) (int, []bool) {
+func (m *Boundary) reduceSparse(ctl *par.Ctl, cleared []bool) (int, []bool, error) {
 	if m.numCols == 0 || m.numRows == 0 {
-		return 0, nil
+		return 0, nil, nil
 	}
 	shards := par.NumShards(int64(m.numCols))
 	locals := make([][][]uint32, shards)
-	par.ForEachShardN(int64(m.numCols), shards, &par.Ctl{}, func(shard int, from, to int64, _ *par.Ctl) {
+	if err := par.ForEachShardNCtx(nil, int64(m.numCols), shards, ctl, func(shard int, from, to int64, c *par.Ctl) {
 		r := newSparseReducer(m.numRows)
 		// One backing arena for the block's unreduced columns; columns that
 		// survive untouched keep pointing into it.
 		arena := make([]uint32, int(to-from)*m.stride)
 		face := make([]uint32, m.stride-1)
 		for j := from; j < to; j++ {
+			if j&(pollStride-1) == 0 && c.Stopped() {
+				return
+			}
 			if cleared != nil && cleared[j] {
 				continue
 			}
@@ -232,11 +312,20 @@ func (m *Boundary) reduceSparse(cleared []bool) (int, []bool) {
 			r.add(col)
 		}
 		locals[shard] = r.cols
-	})
+	}); err != nil {
+		return 0, nil, err
+	}
+	if ctl.Stopped() {
+		return 0, nil, reduceCancelled(ctl)
+	}
 
 	global := newSparseReducer(m.numRows)
+	polled := 0
 	for _, block := range locals {
 		for _, col := range block {
+			if polled++; polled&(pollStride-1) == 0 && ctl.Stopped() {
+				return 0, nil, reduceCancelled(ctl)
+			}
 			global.add(col)
 		}
 	}
@@ -246,7 +335,7 @@ func (m *Boundary) reduceSparse(cleared []bool) (int, []bool) {
 			pivotRows[row] = true
 		}
 	}
-	return global.rank, pivotRows
+	return global.rank, pivotRows, nil
 }
 
 // sparseReducer is one pure-sparse pivot-table column reduction: pivot[r]

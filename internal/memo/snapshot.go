@@ -3,11 +3,15 @@ package memo
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
 	"sync"
+
+	"ksettop/internal/faultinject"
 )
 
 // Memo snapshots persist cache contents across process runs: the CLI tools
@@ -18,11 +22,52 @@ import (
 // (e.g. internal/graph encodes digraph slices), so this package stays free
 // of domain types.
 
-// snapshotMagic identifies the file format; bump the trailing version byte
-// on incompatible changes. Loaders reject other magics outright and skip
-// sections they have no importer for, so adding sections stays
-// backward-compatible.
-var snapshotMagic = []byte("ksetmemo\x01")
+// snapshotMagic identifies the file format; the trailing version byte bumps
+// on incompatible changes. Version 2 appends a CRC32 (IEEE, over the section
+// name and payload) to every section so that torn writes and bit rot are
+// detected at load instead of deserialized into live caches; version 1
+// snapshots (no checksums) are still accepted. Loaders reject other magics
+// outright and skip sections they have no importer for, so adding sections
+// stays backward-compatible.
+var (
+	snapshotMagic   = []byte("ksetmemo\x02")
+	snapshotMagicV1 = []byte("ksetmemo\x01")
+)
+
+// ErrCorruptSnapshot is the sentinel every snapshot integrity failure —
+// truncation, checksum mismatch, foreign bytes — matches under errors.Is.
+// Callers treat it as "warn and start cold", never as fatal.
+var ErrCorruptSnapshot = errors.New("memo: corrupt snapshot")
+
+// CorruptSnapshotError reports a snapshot file that failed validation.
+type CorruptSnapshotError struct {
+	Path    string // the file that failed
+	Section string // the section being read, if the failure was localized
+	Reason  string // what failed
+}
+
+func (e *CorruptSnapshotError) Error() string {
+	if e.Section != "" {
+		return fmt.Sprintf("memo: corrupt snapshot %s (section %q): %s", e.Path, e.Section, e.Reason)
+	}
+	return fmt.Sprintf("memo: corrupt snapshot %s: %s", e.Path, e.Reason)
+}
+
+// Is matches ErrCorruptSnapshot.
+func (e *CorruptSnapshotError) Is(target error) bool { return target == ErrCorruptSnapshot }
+
+func corruptf(path, section, format string, args ...any) error {
+	return &CorruptSnapshotError{Path: path, Section: section, Reason: fmt.Sprintf(format, args...)}
+}
+
+// sectionCRC is the integrity checksum of one v2 section: IEEE CRC32 over
+// the section name followed by its payload.
+func sectionCRC(name string, payload []byte) uint32 {
+	crc := crc32.NewIEEE()
+	io.WriteString(crc, name)
+	crc.Write(payload)
+	return crc.Sum32()
+}
 
 type snapshotSection struct {
 	name    string
@@ -69,6 +114,9 @@ func SaveSnapshot(path string) error {
 		buf.WriteString(s.name)
 		WriteUvarint(&buf, uint64(len(payload)))
 		buf.Write(payload)
+		var crc [4]byte
+		binary.LittleEndian.PutUint32(crc[:], sectionCRC(s.name, payload))
+		buf.Write(crc[:])
 	}
 
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".memo-snapshot-*")
@@ -94,19 +142,53 @@ func SaveSnapshot(path string) error {
 // LoadSnapshot restores every section of the file that has a registered
 // importer; sections without one are skipped, so snapshots survive the
 // removal of a cache. Loading is additive — it Puts entries into live
-// caches and never clears anything.
+// caches and never clears anything. Integrity failures (truncation, CRC
+// mismatch, foreign bytes) return a *CorruptSnapshotError matching
+// ErrCorruptSnapshot, and checksums are verified BEFORE any section is
+// imported, so a corrupt file never half-populates the caches.
 func LoadSnapshot(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("memo: %w", err)
 	}
-	if !bytes.HasPrefix(data, snapshotMagic) {
-		return fmt.Errorf("memo: %s is not a memo snapshot", path)
+	faultinject.Corrupt(faultinject.PointSnapshotLoad, data)
+	checked := true
+	switch {
+	case bytes.HasPrefix(data, snapshotMagic):
+	case bytes.HasPrefix(data, snapshotMagicV1):
+		checked = false // v1 predates checksums
+	default:
+		return corruptf(path, "", "not a memo snapshot")
 	}
 	r := bytes.NewReader(data[len(snapshotMagic):])
 	count, err := binary.ReadUvarint(r)
 	if err != nil {
-		return fmt.Errorf("memo: corrupt snapshot %s: %w", path, err)
+		return corruptf(path, "", "section count: %v", err)
+	}
+	type section struct {
+		name    string
+		payload []byte
+	}
+	secs := make([]section, 0, count)
+	for i := uint64(0); i < count; i++ {
+		name, err := ReadLengthPrefixed(r)
+		if err != nil {
+			return corruptf(path, "", "section %d name: %v", i, err)
+		}
+		payload, err := ReadLengthPrefixed(r)
+		if err != nil {
+			return corruptf(path, string(name), "payload: %v", err)
+		}
+		if checked {
+			var crc [4]byte
+			if _, err := io.ReadFull(r, crc[:]); err != nil {
+				return corruptf(path, string(name), "checksum: %v", err)
+			}
+			if got, want := sectionCRC(string(name), payload), binary.LittleEndian.Uint32(crc[:]); got != want {
+				return corruptf(path, string(name), "checksum mismatch (computed %08x, stored %08x)", got, want)
+			}
+		}
+		secs = append(secs, section{name: string(name), payload: payload})
 	}
 	sectionMu.Lock()
 	importers := make(map[string]func([]byte) error, len(sections))
@@ -114,21 +196,13 @@ func LoadSnapshot(path string) error {
 		importers[s.name] = s.restore
 	}
 	sectionMu.Unlock()
-	for i := uint64(0); i < count; i++ {
-		name, err := ReadLengthPrefixed(r)
-		if err != nil {
-			return fmt.Errorf("memo: corrupt snapshot %s: %w", path, err)
-		}
-		payload, err := ReadLengthPrefixed(r)
-		if err != nil {
-			return fmt.Errorf("memo: corrupt snapshot %s: %w", path, err)
-		}
-		imp, ok := importers[string(name)]
+	for _, s := range secs {
+		imp, ok := importers[s.name]
 		if !ok {
 			continue
 		}
-		if err := imp(payload); err != nil {
-			return fmt.Errorf("memo: importing section %q: %w", name, err)
+		if err := imp(s.payload); err != nil {
+			return fmt.Errorf("memo: importing section %q: %w", s.name, err)
 		}
 	}
 	return nil

@@ -1,9 +1,13 @@
 package memo
 
 import (
+	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"ksettop/internal/faultinject"
 )
 
 func TestSnapshotEntriesRoundTrip(t *testing.T) {
@@ -93,6 +97,171 @@ func TestSnapshotFileRoundTrip(t *testing.T) {
 		if got, ok := cache.Get(key); !ok || got != want {
 			t.Errorf("after load, %q = %q (ok=%v), want %q", key, got, ok, want)
 		}
+	}
+}
+
+// registerStringCache registers a length-prefixed string-cache section under
+// name and returns the backing cache (sections cannot be unregistered, so
+// every test uses a unique name).
+func registerStringCache(name string) *Cache[string] {
+	cache := NewCache[string](16)
+	RegisterSnapshot(name,
+		func() ([]byte, error) {
+			keys, vals := cache.SnapshotEntries()
+			var out []byte
+			for i := range keys {
+				out = append(out, byte(len(keys[i])))
+				out = append(out, keys[i]...)
+				out = append(out, byte(len(vals[i])))
+				out = append(out, vals[i]...)
+			}
+			return out, nil
+		},
+		func(payload []byte) error {
+			for len(payload) > 0 {
+				kn := int(payload[0])
+				key := string(payload[1 : 1+kn])
+				payload = payload[1+kn:]
+				vn := int(payload[0])
+				cache.Put(key, string(payload[1:1+vn]))
+				payload = payload[1+vn:]
+			}
+			return nil
+		})
+	return cache
+}
+
+// TestSnapshotBitFlipDetected flips every single bit of a v2 snapshot in
+// turn and asserts the loader either rejects the file as corrupt or — when
+// the flip lands in a section without an importer or in framing slack —
+// never imports damaged bytes into the cache silently as a success with
+// wrong contents.
+func TestSnapshotBitFlipDetected(t *testing.T) {
+	cache := registerStringCache("crc.section")
+	cache.Put("alpha", "1")
+	cache.Put("beta", "22")
+	path := filepath.Join(t.TempDir(), "snap.bin")
+	if err := SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejected := 0
+	for bit := 0; bit < len(data)*8; bit++ {
+		flipped := append([]byte(nil), data...)
+		flipped[bit/8] ^= 1 << (bit % 8)
+		if err := os.WriteFile(path, flipped, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cache.Clear()
+		err := LoadSnapshot(path)
+		if err == nil {
+			// The only single-bit flips a CRC over name+payload cannot see
+			// are in the framing outside any section (e.g. the section count
+			// collapsing to 0): the load must then be a no-op, never an
+			// import of damaged bytes.
+			if n := cache.Len(); n != 0 {
+				t.Fatalf("bit %d: flipped snapshot loaded cleanly with %d entries", bit, n)
+			}
+			continue
+		}
+		if errors.Is(err, ErrCorruptSnapshot) {
+			rejected++
+			var ce *CorruptSnapshotError
+			if !errors.As(err, &ce) {
+				t.Fatalf("bit %d: err %v is not a *CorruptSnapshotError", bit, err)
+			}
+		}
+		if n := cache.Len(); n != 0 {
+			t.Fatalf("bit %d: corrupt load half-populated the cache (%d entries)", bit, n)
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("no flip was detected by the checksum")
+	}
+}
+
+// TestSnapshotTruncationDetected cuts a v2 snapshot short at every length
+// and asserts the loader reports corruption instead of importing a prefix.
+func TestSnapshotTruncationDetected(t *testing.T) {
+	cache := registerStringCache("trunc.section")
+	cache.Put("gamma", "333")
+	path := filepath.Join(t.TempDir(), "snap.bin")
+	if err := SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(data); cut++ {
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cache.Clear()
+		if err := LoadSnapshot(path); !errors.Is(err, ErrCorruptSnapshot) {
+			t.Fatalf("cut at %d: err = %v, want ErrCorruptSnapshot", cut, err)
+		}
+		if n := cache.Len(); n != 0 {
+			t.Fatalf("cut at %d: truncated load half-populated the cache (%d entries)", cut, n)
+		}
+	}
+}
+
+// TestSnapshotV1StillLoads pins backward compatibility: a version-1 file
+// (no checksums) still restores.
+func TestSnapshotV1StillLoads(t *testing.T) {
+	cache := registerStringCache("v1.section")
+	var buf bytes.Buffer
+	buf.Write(snapshotMagicV1)
+	WriteUvarint(&buf, 1)
+	name := "v1.section"
+	payload := []byte("\x01k\x01v") // key "k" → value "v" in the test codec
+	WriteUvarint(&buf, uint64(len(name)))
+	buf.WriteString(name)
+	WriteUvarint(&buf, uint64(len(payload)))
+	buf.Write(payload)
+	path := filepath.Join(t.TempDir(), "snap-v1.bin")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadSnapshot(path); err != nil {
+		t.Fatalf("v1 snapshot rejected: %v", err)
+	}
+	if got, ok := cache.Get("k"); !ok || got != "v" {
+		t.Errorf("restored k = %q (ok=%v), want v", got, ok)
+	}
+}
+
+// TestSnapshotFaultInjectedCorruption drives the memo.snapshot injection
+// point: an armed corrupt rule flips seeded bits in the loaded bytes, and
+// the checksums catch it.
+func TestSnapshotFaultInjectedCorruption(t *testing.T) {
+	cache := registerStringCache("fault.section")
+	cache.Put("delta", "4444")
+	path := filepath.Join(t.TempDir(), "snap.bin")
+	if err := SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Enable(7, faultinject.Rule{
+		Point:  faultinject.PointSnapshotLoad,
+		Action: faultinject.ActionCorrupt,
+		Every:  1, // every load
+		Flips:  4,
+	})
+	defer faultinject.Disable()
+	cache.Clear()
+	if err := LoadSnapshot(path); err == nil {
+		t.Fatal("fault-injected corruption loaded cleanly")
+	}
+	faultinject.Disable()
+	if err := LoadSnapshot(path); err != nil {
+		t.Fatalf("clean reload after disarm: %v", err)
+	}
+	if got, ok := cache.Get("delta"); !ok || got != "4444" {
+		t.Errorf("restored delta = %q (ok=%v)", got, ok)
 	}
 }
 

@@ -1,0 +1,94 @@
+package model
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ksettop/internal/graph"
+	"ksettop/internal/par"
+)
+
+// TestEnumerationBudgetTypedError pins the typed budget rejection: errors.Is
+// matches ErrEnumerationBudget, errors.As yields the configured budget and
+// the overflowing rank-space lower bound.
+func TestEnumerationBudgetTypedError(t *testing.T) {
+	defer SetEnumerationBudget(0)
+	star5, _ := graph.Star(5, 0)
+	m, err := Simple(star5) // 16 missing edges: 2^16 ranks
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetEnumerationBudget(1000)
+	_, err = m.EnumerationSize()
+	if !errors.Is(err, ErrEnumerationBudget) {
+		t.Fatalf("err %v does not match ErrEnumerationBudget", err)
+	}
+	var be *EnumerationBudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err %v is not an *EnumerationBudgetError", err)
+	}
+	if be.Budget != 1000 {
+		t.Errorf("Budget = %d, want 1000", be.Budget)
+	}
+	if be.Required <= be.Budget {
+		t.Errorf("Required = %d, want > budget %d", be.Required, be.Budget)
+	}
+}
+
+// TestEnumerateCtxCancellation pins the ctx-bound enumeration surface: an
+// expired deadline aborts with a DeadlineExceeded chain before (or within
+// ~1k ranks of) the scan, on every entry point, and the rerun after a
+// cancelled sweep is identical to an uncancelled one at every parallelism.
+func TestEnumerateCtxCancellation(t *testing.T) {
+	m, err := NonEmptyKernelModel(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer par.SetParallelism(0)
+	par.SetParallelism(1)
+	want, err := m.AllGraphs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCount, err := m.GraphCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	expired, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-expired.Done()
+
+	size, err := m.EnumerationSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EnumerateRangeCtx(expired, 0, size, func(graph.Digraph) bool { return true }); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("EnumerateRangeCtx(expired) = %v, want DeadlineExceeded chain", err)
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		par.SetParallelism(workers)
+		if _, err := m.AllGraphsCtx(expired); !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("workers=%d: AllGraphsCtx(expired) = %v, want DeadlineExceeded chain", workers, err)
+		}
+		got, err := m.AllGraphsCtx(context.Background())
+		if err != nil {
+			t.Fatalf("workers=%d: rerun: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: rerun yields %d graphs, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Key() != want[i].Key() {
+				t.Fatalf("workers=%d: rerun graph %d differs", workers, i)
+			}
+		}
+		count, err := m.GraphCountCtx(context.Background())
+		if err != nil || count != wantCount {
+			t.Fatalf("workers=%d: GraphCountCtx = %d, %v; want %d", workers, count, err, wantCount)
+		}
+	}
+}

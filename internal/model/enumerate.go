@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"fmt"
 	mathbits "math/bits"
 	"sync/atomic"
@@ -73,7 +74,7 @@ func (m *ClosedAbove) Enumeration() (*Enumeration, error) {
 			return nil, fmt.Errorf("model: generator with %d missing edges: segment ranks exceed int64, unenumerable at any budget", len(free))
 		}
 		if int64(1)<<uint(len(free)) > budget-total {
-			return nil, fmt.Errorf("model: closure rank space exceeds enumeration budget %d (raise with SetEnumerationBudget)", budget)
+			return nil, &EnumerationBudgetError{Budget: budget, Required: total + int64(1)<<uint(len(free))}
 		}
 		total += int64(1) << uint(len(free))
 		e.bases = append(e.bases, base)
@@ -229,6 +230,51 @@ func (m *ClosedAbove) EnumerateRange(lo, hi int64, yield func(graph.Digraph) boo
 	return err
 }
 
+// enumPollMask: ctx-aware enumeration loops poll cancellation every
+// enumPollMask+1 ranks — frequent enough that a cancelled sweep stops well
+// within one shard, rare enough that the atomic load never shows up in
+// profiles.
+const enumPollMask = 1023
+
+// EnumerateRangeCtx is EnumerateRange bound to a context: cancellation or
+// deadline expiry stops the scan within ~1k ranks and returns the context's
+// cause. A completed scan is identical to EnumerateRange.
+func (m *ClosedAbove) EnumerateRangeCtx(ctx context.Context, lo, hi int64, yield func(graph.Digraph) bool) error {
+	e, err := m.Enumeration()
+	if err != nil {
+		return err
+	}
+	if ctx == nil || ctx.Done() == nil {
+		_, err = e.RangeGraphs(lo, hi, yield)
+		return err
+	}
+	if ctx.Err() != nil {
+		// Already expired: the async Bind watcher could lose the race
+		// against a fast scan, so reject synchronously.
+		return fmt.Errorf("model: enumeration aborted: %w", context.Cause(ctx))
+	}
+	ctl := &par.Ctl{}
+	release := ctl.Bind(ctx)
+	defer release()
+	seen := int64(0)
+	cancelled := false
+	_, err = e.RangeGraphs(lo, hi, func(g graph.Digraph) bool {
+		if seen&enumPollMask == 0 && ctl.Stopped() {
+			cancelled = true
+			return false
+		}
+		seen++
+		return yield(g)
+	})
+	if err != nil {
+		return err
+	}
+	if cancelled || ctl.Stopped() {
+		return fmt.Errorf("model: enumeration aborted: %w", context.Cause(ctx))
+	}
+	return nil
+}
+
 // EnumerationSize returns the model's rank-space size (see Enumeration).
 func (m *ClosedAbove) EnumerationSize() (int64, error) {
 	e, err := m.Enumeration()
@@ -243,6 +289,15 @@ func (m *ClosedAbove) EnumerationSize() (int64, error) {
 // so the slice is in ascending enumeration rank — identical to a sequential
 // EnumerateGraphs collect, regardless of parallelism.
 func (m *ClosedAbove) AllGraphs() ([]graph.Digraph, error) {
+	return m.AllGraphsCtx(context.Background())
+}
+
+// AllGraphsCtx is AllGraphs bound to a context: cancellation stops every
+// shard scanner within ~1k ranks (in-flight shards) or at the next shard
+// boundary (queued shards) and returns the cause instead of a partial
+// closure. Completed runs are byte-identical to AllGraphs at every
+// parallelism.
+func (m *ClosedAbove) AllGraphsCtx(ctx context.Context) ([]graph.Digraph, error) {
 	e, err := m.Enumeration()
 	if err != nil {
 		return nil, err
@@ -251,7 +306,7 @@ func (m *ClosedAbove) AllGraphs() ([]graph.Digraph, error) {
 	shards := par.NumShards(total)
 	if shards <= 1 {
 		var all []graph.Digraph
-		if _, err := e.RangeGraphs(0, total, func(g graph.Digraph) bool {
+		if err := m.EnumerateRangeCtx(ctx, 0, total, func(g graph.Digraph) bool {
 			all = append(all, g)
 			return true
 		}); err != nil {
@@ -261,14 +316,25 @@ func (m *ClosedAbove) AllGraphs() ([]graph.Digraph, error) {
 	}
 	locals := make([][]graph.Digraph, shards)
 	errs := make([]error, shards)
-	par.ForEachShardN(total, shards, &par.Ctl{}, func(shard int, from, to int64, _ *par.Ctl) {
+	ctl := &par.Ctl{}
+	if err := par.ForEachShardNCtx(ctx, total, shards, ctl, func(shard int, from, to int64, c *par.Ctl) {
 		var out []graph.Digraph
+		seen := int64(0)
 		_, errs[shard] = e.RangeGraphs(from, to, func(g graph.Digraph) bool {
+			if seen&enumPollMask == 0 && c.Stopped() {
+				return false
+			}
+			seen++
 			out = append(out, g)
 			return true
 		})
 		locals[shard] = out
-	})
+	}); err != nil {
+		return nil, fmt.Errorf("model: enumeration aborted: %w", err)
+	}
+	if ctl.Stopped() {
+		return nil, fmt.Errorf("model: enumeration aborted: %w", context.Cause(ctx))
+	}
 	n := 0
 	for shard, local := range locals {
 		if errs[shard] != nil {
@@ -287,6 +353,12 @@ func (m *ClosedAbove) AllGraphs() ([]graph.Digraph, error) {
 // of the closures). The count runs on the mask-level fast path, sharded
 // across the worker pool, and is memoized per generator set.
 func (m *ClosedAbove) GraphCount() (int, error) {
+	return m.GraphCountCtx(context.Background())
+}
+
+// GraphCountCtx is GraphCount bound to a context; a cancelled count returns
+// the cause (and is not cached — a later uncancelled call recomputes).
+func (m *ClosedAbove) GraphCountCtx(ctx context.Context) (int, error) {
 	v, err := countCache.Do(setKey("count", m.gens), func() (int, error) {
 		e, err := m.Enumeration()
 		if err != nil {
@@ -294,23 +366,29 @@ func (m *ClosedAbove) GraphCount() (int, error) {
 		}
 		total := e.Size()
 		shards := par.NumShards(total)
-		if shards <= 1 {
-			count := 0
-			e.RangeMasks(0, total, func(bits.Words) bool {
-				count++
-				return true
-			})
-			return count, nil
-		}
+		ctl := &par.Ctl{}
 		var count atomic.Int64
-		par.ForEachShardN(total, shards, &par.Ctl{}, func(_ int, from, to int64, _ *par.Ctl) {
+		if shards < 1 {
+			shards = 1
+		}
+		if err := par.ForEachShardNCtx(ctx, total, shards, ctl, func(_ int, from, to int64, c *par.Ctl) {
 			local := 0
+			seen := int64(0)
 			e.RangeMasks(from, to, func(bits.Words) bool {
+				if seen&enumPollMask == 0 && c.Stopped() {
+					return false
+				}
+				seen++
 				local++
 				return true
 			})
 			count.Add(int64(local))
-		})
+		}); err != nil {
+			return 0, fmt.Errorf("model: enumeration aborted: %w", err)
+		}
+		if ctl.Stopped() {
+			return 0, fmt.Errorf("model: enumeration aborted: %w", context.Cause(ctx))
+		}
 		return int(count.Load()), nil
 	})
 	return v, err

@@ -1,0 +1,27 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrEnumerationBudget is the sentinel every enumeration-budget rejection
+// matches under errors.Is. The concrete error is an *EnumerationBudgetError
+// carrying the budget and the rank space that overflowed it.
+var ErrEnumerationBudget = errors.New("model: enumeration budget exceeded")
+
+// EnumerationBudgetError reports a closure whose rank space does not fit the
+// configured enumeration budget. Required is the partial rank-space total at
+// the generator that overflowed — a lower bound on the full requirement
+// (the scan stops at the first overflow to avoid int64 wraparound).
+type EnumerationBudgetError struct {
+	Budget   int64 // the configured budget (EnumerationBudget())
+	Required int64 // rank space accumulated when the budget overflowed
+}
+
+func (e *EnumerationBudgetError) Error() string {
+	return fmt.Sprintf("model: closure rank space exceeds enumeration budget %d (≥ %d required; raise with SetEnumerationBudget)", e.Budget, e.Required)
+}
+
+// Is matches ErrEnumerationBudget.
+func (e *EnumerationBudgetError) Is(target error) bool { return target == ErrEnumerationBudget }

@@ -1,6 +1,13 @@
 package par
 
-import "sync"
+import (
+	"context"
+	"errors"
+	"runtime/debug"
+	"sync"
+
+	"ksettop/internal/faultinject"
+)
 
 // Task is one unit of work-stealing work. A running task may carve off
 // unexplored parts of its own search space and hand them back to the deque
@@ -49,14 +56,34 @@ func (d *Deque) Ctl() *Ctl { return d.ctl }
 // Parallelism() workers sharing one deque, returning when every task has
 // finished or the sweep was cancelled via ctl (queued tasks are then
 // dropped; running tasks are expected to poll ctl and wind down). A nil
-// ctl runs uncancellable.
+// ctl runs uncancellable. A task panic is re-raised on the calling
+// goroutine as *PanicError once the pool has wound down.
 func RunDeque(tasks []Task, ctl *Ctl) {
+	err := RunDequeCtx(context.Background(), tasks, ctl)
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		panic(pe)
+	}
+}
+
+// RunDequeCtx is RunDeque bound to a context: ctx expiry cancels the sweep,
+// task panics are contained into *PanicError causes instead of crashing,
+// and the sweep's failure cause (if any) is returned after every worker has
+// exited. Queued tasks left at cancellation are dropped, never leaked: the
+// pool always drains pending to zero before returning.
+func RunDequeCtx(ctx context.Context, tasks []Task, ctl *Ctl) error {
 	if len(tasks) == 0 {
-		return
+		return nil
 	}
 	if ctl == nil {
 		ctl = &Ctl{}
 	}
+	if ctx != nil && ctx.Err() != nil {
+		ctl.StopCause(context.Cause(ctx))
+		return ctl.Cause()
+	}
+	release := ctl.Bind(ctx)
+	defer release()
 	d := &Deque{items: append([]Task(nil), tasks...), pending: len(tasks), ctl: ctl}
 	d.cond = sync.NewCond(&d.mu)
 	workers := Parallelism()
@@ -75,6 +102,26 @@ func RunDeque(tasks []Task, ctl *Ctl) {
 		}()
 	}
 	wg.Wait()
+	return ctl.Cause()
+}
+
+// runTask runs one task with panic containment: a panicking task stops the
+// sweep with a structured cause, and — critically — the worker's drain loop
+// still decrements pending afterwards, so sibling workers blocked on the
+// condition variable are always released. (Before this recover existed, a
+// task panic unwound past the pending bookkeeping and every other worker
+// slept forever.)
+func (d *Deque) runTask(t Task) {
+	defer func() {
+		if r := recover(); r != nil {
+			d.ctl.StopCause(&PanicError{Site: faultinject.PointParTask, Shard: -1, Value: r, Stack: debug.Stack()})
+		}
+	}()
+	if err := faultinject.Hit(faultinject.PointParTask); err != nil {
+		d.ctl.StopCause(err)
+		return
+	}
+	t(d)
 }
 
 // work is one worker's drain loop: take from the front, run, repeat; block
@@ -94,7 +141,7 @@ func (d *Deque) work() {
 			t := d.items[0]
 			d.items = d.items[1:]
 			d.mu.Unlock()
-			t(d)
+			d.runTask(t)
 			d.mu.Lock()
 			d.pending--
 			if d.pending == 0 {

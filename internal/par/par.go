@@ -16,12 +16,18 @@
 package par
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"math"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"ksettop/internal/faultinject"
 )
 
 // EnvParallelism is the environment variable that overrides the default
@@ -62,15 +68,72 @@ func SetParallelism(n int) {
 	override.Store(int64(n))
 }
 
+// PanicError is a worker panic recovered at a shard or task boundary,
+// carrying enough context (site, shard, stack) to report the failure as a
+// structured error instead of crashing the process. The context-aware entry
+// points (ForEachShardCtx, RunDequeCtx) return it; the legacy void entry
+// points re-panic it on the CALLER's goroutine, preserving crash-on-panic
+// for code that has not opted into containment.
+type PanicError struct {
+	Site  string // injection/recovery site, e.g. "par.shard" or "par.task"
+	Shard int    // shard index, or -1 when not meaningful (deque tasks)
+	Value any    // the recovered panic value
+	Stack []byte // stack of the panicking goroutine
+}
+
+func (e *PanicError) Error() string {
+	if e.Shard >= 0 {
+		return fmt.Sprintf("par: panic in %s (shard %d): %v", e.Site, e.Shard, e.Value)
+	}
+	return fmt.Sprintf("par: panic in %s: %v", e.Site, e.Value)
+}
+
 // Ctl is the shared cancellation state of one fan-out. Shard scanners poll
 // it between iterations; polling is a single atomic load.
 type Ctl struct {
 	stop  atomic.Bool
 	bound atomic.Int64 // for First: lowest witness rank published so far
+	cause atomic.Pointer[causeCell]
 }
+
+type causeCell struct{ err error }
 
 // Stop requests global cancellation of the sweep.
 func (c *Ctl) Stop() { c.stop.Store(true) }
+
+// StopCause requests cancellation and records err as the sweep's failure
+// cause. The first non-nil cause wins; later causes are dropped (the sweep
+// is already dying for the first reason). Stop() without a cause — witness
+// found, floor reached — leaves Cause() nil.
+func (c *Ctl) StopCause(err error) {
+	if err != nil {
+		c.cause.CompareAndSwap(nil, &causeCell{err})
+	}
+	c.stop.Store(true)
+}
+
+// Cause returns the failure cause recorded by StopCause, or nil if the sweep
+// was never cancelled or was cancelled without a cause.
+func (c *Ctl) Cause() error {
+	if cell := c.cause.Load(); cell != nil {
+		return cell.err
+	}
+	return nil
+}
+
+// Bind ties ctx's cancellation to the Ctl: when ctx is done, the sweep is
+// stopped with context.Cause(ctx) as its cause. The returned release func
+// detaches the watcher and must be called when the sweep ends (typically
+// deferred). A ctx that can never be cancelled binds for free.
+func (c *Ctl) Bind(ctx context.Context) (release func()) {
+	if ctx == nil || ctx.Done() == nil {
+		return func() {}
+	}
+	stop := context.AfterFunc(ctx, func() {
+		c.StopCause(context.Cause(ctx))
+	})
+	return func() { stop() }
+}
 
 // Stopped reports whether the sweep has been cancelled.
 func (c *Ctl) Stopped() bool { return c.stop.Load() }
@@ -123,15 +186,67 @@ func ForEachShard(total int64, ctl *Ctl, scan func(shard int, from, to int64, ct
 	ForEachShardN(total, NumShards(total), ctl, scan)
 }
 
+// ForEachShardCtx is ForEachShard bound to a context: ctx expiry cancels the
+// sweep across all workers, and the sweep's failure cause (context error,
+// recovered worker panic, or a cause the scanner recorded via StopCause) is
+// returned instead of crashing. A nil ctl gets a private one.
+func ForEachShardCtx(ctx context.Context, total int64, ctl *Ctl, scan func(shard int, from, to int64, ctl *Ctl)) error {
+	return ForEachShardNCtx(ctx, total, NumShards(total), ctl, scan)
+}
+
 // ForEachShardN is ForEachShard with an explicit shard count (≥ 1 when
-// total > 0; values from NumShards are always valid).
+// total > 0; values from NumShards are always valid). A worker panic is
+// re-raised on the calling goroutine as *PanicError.
 func ForEachShardN(total int64, shards int, ctl *Ctl, scan func(shard int, from, to int64, ctl *Ctl)) {
-	if total <= 0 || shards <= 0 {
+	err := ForEachShardNCtx(context.Background(), total, shards, ctl, scan)
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		panic(pe)
+	}
+}
+
+// recoverShard converts a panic inside a shard scan into a structured cause
+// on the sweep's Ctl, so the pool winds down cleanly instead of crashing.
+func recoverShard(ctl *Ctl, shard int) {
+	if r := recover(); r != nil {
+		ctl.StopCause(&PanicError{Site: faultinject.PointParShard, Shard: shard, Value: r, Stack: debug.Stack()})
+	}
+}
+
+// runShard runs one shard scan behind the fault-injection hook and panic
+// containment.
+func runShard(ctl *Ctl, shard int, from, to int64, scan func(shard int, from, to int64, ctl *Ctl)) {
+	defer recoverShard(ctl, shard)
+	if err := faultinject.Hit(faultinject.PointParShard); err != nil {
+		ctl.StopCause(err)
 		return
 	}
+	scan(shard, from, to, ctl)
+}
+
+// ForEachShardNCtx is the context-aware core of the shard fan-out: it binds
+// ctx cancellation to ctl, contains worker panics, and returns the sweep's
+// failure cause (nil on clean completion or cause-less early exit).
+func ForEachShardNCtx(ctx context.Context, total int64, shards int, ctl *Ctl, scan func(shard int, from, to int64, ctl *Ctl)) error {
+	if total <= 0 || shards <= 0 {
+		return nil
+	}
+	if ctl == nil {
+		ctl = &Ctl{}
+	}
+	if ctx != nil && ctx.Err() != nil {
+		// Already expired: AfterFunc would fire asynchronously and could
+		// lose the race against a fast sweep, so stop synchronously.
+		ctl.StopCause(context.Cause(ctx))
+		return ctl.Cause()
+	}
+	release := ctl.Bind(ctx)
+	defer release()
 	if shards == 1 {
-		scan(0, 0, total, ctl)
-		return
+		if !ctl.Stopped() {
+			runShard(ctl, 0, 0, total, scan)
+		}
+		return ctl.Cause()
 	}
 	// Balanced bounds without s*total products, which overflow int64 for
 	// rank spaces near C(64,32): the first rem shards get base+1 ranks.
@@ -168,11 +283,12 @@ func ForEachShardN(total int64, shards int, ctl *Ctl, scan func(shard int, from,
 					continue // drain remaining shards without scanning
 				}
 				from, to := bounds(s)
-				scan(int(s), from, to, ctl)
+				runShard(ctl, int(s), from, to, scan)
 			}
 		}()
 	}
 	wg.Wait()
+	return ctl.Cause()
 }
 
 // First returns the smallest rank in [0, total) accepted by the sweep, or -1

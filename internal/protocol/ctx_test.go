@@ -1,0 +1,237 @@
+package protocol
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"ksettop/internal/faultinject"
+	"ksettop/internal/graph"
+	"ksettop/internal/model"
+	"ksettop/internal/par"
+)
+
+// midSweepInstance returns the n=4 star-closure instance whose refutation
+// engages the decomposition + task sweep once the probe limit is forced
+// down — the same configuration TestBudgetErrorsAgreeAcrossEnginesAndParallelism
+// uses for its mid-sweep budget trips.
+func midSweepInstance(t *testing.T) []graph.Digraph {
+	t.Helper()
+	m, err := model.NonEmptyKernelModel(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := m.AllGraphs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return all
+}
+
+// TestBudgetTypedError pins the typed budget error contract: errors.Is
+// matches ErrBudgetExceeded, errors.As yields the budget and the
+// deterministic node count, on both engines.
+func TestBudgetTypedError(t *testing.T) {
+	m, err := model.NonEmptyKernelModel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens := m.Generators()
+	for _, engine := range []SearchEngine{SearchSeq, SearchParallel} {
+		res, err := SolveOneRoundEngine(gens, 3, 2, 1, engine)
+		if !errors.Is(err, ErrBudgetExceeded) {
+			t.Fatalf("engine=%v: err %v does not match ErrBudgetExceeded", engine, err)
+		}
+		var be *BudgetError
+		if !errors.As(err, &be) {
+			t.Fatalf("engine=%v: err %v is not a *BudgetError", engine, err)
+		}
+		if be.Budget != 1 || be.Nodes != res.Nodes {
+			t.Fatalf("engine=%v: BudgetError %+v, want Budget=1 Nodes=%d", engine, be, res.Nodes)
+		}
+	}
+}
+
+// TestBudgetOvershootBounded is the regression test for the tasks × budget
+// overshoot: a mid-sweep budget trip must stop the sweep after roughly one
+// task's worth of extra work, not after every task has burned its private
+// cap. debugSweepNodes records the wall-clock nodes the sweep actually
+// explored (cancelled tasks included), so the assertion is on real work
+// done, not on the deterministic accounting.
+func TestBudgetOvershootBounded(t *testing.T) {
+	all := midSweepInstance(t)
+	SetSearchProbeLimit(4) // force the parallel phase immediately
+	defer SetSearchProbeLimit(0)
+	defer par.SetParallelism(0)
+
+	// Reference: the full refutation is far larger than the budget, so an
+	// unbounded sweep would burn orders of magnitude more than budget nodes.
+	par.SetParallelism(1)
+	full, err := SolveOneRound(all, 4, 3, 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget 200 lands inside the task sweep on this instance (probe +
+	// decomposition charge 67 nodes), so the trip exercises the live
+	// accounting, not the pre-sweep checks.
+	const budget = 200
+	if full.Nodes < 20*budget {
+		t.Fatalf("instance too small to witness overshoot: full refutation is %d nodes", full.Nodes)
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		par.SetParallelism(workers)
+		debugSweepNodes.Store(0)
+		res, err := SolveOneRound(all, 4, 3, budget)
+		if !errors.Is(err, ErrBudgetExceeded) {
+			t.Fatalf("workers=%d: want budget error, got %v (res %+v)", workers, err, res)
+		}
+		if res.Stats.Tasks == 0 {
+			t.Fatalf("workers=%d: budget tripped before the sweep engaged: %+v", workers, res.Stats)
+		}
+		spent := debugSweepNodes.Load()
+		// Bound: the charged prefix (≤ budget) + the crossing task running
+		// to its private cap (≤ budget) + every in-flight worker winding
+		// down within its 128-node polling granularity, plus slack for
+		// tasks that were already mid-flight when the bound was published.
+		limit := int64(2*budget + workers*256)
+		if spent > limit {
+			t.Errorf("workers=%d: sweep explored %d nodes on a %d-node budget (limit %d) — overshoot regression",
+				workers, spent, budget, limit)
+		}
+		if int64(full.Nodes) <= limit {
+			t.Fatalf("assertion vacuous: full refutation %d under limit %d", full.Nodes, limit)
+		}
+	}
+}
+
+// TestSolveCancellationDeterminism is the corpus regression for the
+// cancellation backbone: cancelling a run mid-flight and rerunning it to
+// completion must yield a SolveResult byte-identical to a never-cancelled
+// run, at every parallelism setting.
+func TestSolveCancellationDeterminism(t *testing.T) {
+	all := midSweepInstance(t)
+	SetSearchProbeLimit(16)
+	defer SetSearchProbeLimit(0)
+	defer par.SetParallelism(0)
+
+	par.SetParallelism(1)
+	want, err := SolveOneRound(all, 4, 3, 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Stats.Tasks == 0 {
+		t.Fatalf("parallel phase did not engage: %+v", want.Stats)
+	}
+
+	for _, workers := range []int{1, 2, 5, 8} {
+		par.SetParallelism(workers)
+		// Cancel mid-run: a deadline short enough to land inside the sweep
+		// on most runs. Either outcome is legal — a cancellation error or a
+		// clean finish if the run beat the deadline — but a cancelled run
+		// must never return a partial result as if it were complete.
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+		res, err := SolveOneRoundCtx(ctx, all, 4, 3, 50_000_000)
+		cancel()
+		if err != nil {
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("workers=%d: cancelled run returned %v, want a DeadlineExceeded chain", workers, err)
+			}
+		} else if res != want {
+			t.Fatalf("workers=%d: run that beat the deadline differs: %+v vs %+v", workers, res, want)
+		}
+		// Rerun to completion: byte-identical to the uncancelled result.
+		got, err := SolveOneRoundCtx(context.Background(), all, 4, 3, 50_000_000)
+		if err != nil {
+			t.Fatalf("workers=%d: rerun: %v", workers, err)
+		}
+		if got != want {
+			t.Errorf("workers=%d: rerun after cancellation differs: %+v vs %+v", workers, got, want)
+		}
+	}
+}
+
+// TestSolveExpiredDeadline pins that an already-expired deadline returns a
+// typed context error without doing a shard's worth of work.
+func TestSolveExpiredDeadline(t *testing.T) {
+	all := midSweepInstance(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	for _, engine := range []SearchEngine{SearchSeq, SearchParallel} {
+		_, err := SolveOneRoundEngineCtx(ctx, all, 4, 3, 50_000_000, engine)
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("engine=%v: err = %v, want DeadlineExceeded chain", engine, err)
+		}
+	}
+}
+
+// TestSolveChaosInjectedFaults hammers the solver under injected faults:
+// panics and errors at task boundaries must surface as clean errors (no
+// process crash, no goroutine leak), and a fault-free rerun must match the
+// clean result exactly.
+func TestSolveChaosInjectedFaults(t *testing.T) {
+	all := midSweepInstance(t)
+	SetSearchProbeLimit(16)
+	defer SetSearchProbeLimit(0)
+	defer par.SetParallelism(0)
+	par.SetParallelism(4)
+
+	want, err := SolveOneRound(all, 4, 3, 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := runtime.NumGoroutine()
+	cases := []struct {
+		name string
+		rule faultinject.Rule
+	}{
+		{"panic at 3rd solver task", faultinject.Rule{Point: faultinject.PointSolverTask, Nth: 3, Action: faultinject.ActionPanic}},
+		{"error at 2nd solver task", faultinject.Rule{Point: faultinject.PointSolverTask, Nth: 2, Action: faultinject.ActionError}},
+		{"panic at 5th deque task", faultinject.Rule{Point: faultinject.PointParTask, Nth: 5, Action: faultinject.ActionPanic}},
+		{"error at 1st deque task", faultinject.Rule{Point: faultinject.PointParTask, Nth: 1, Action: faultinject.ActionError}},
+	}
+	for _, tc := range cases {
+		faultinject.Enable(42, tc.rule)
+		_, err := SolveOneRound(all, 4, 3, 50_000_000)
+		faultinject.Disable()
+		if err == nil {
+			// A panic rule may fire inside a task that was already
+			// cancelled-for-rank and never reaches the injection point; but
+			// with these small ordinals the fault must land.
+			t.Fatalf("%s: fault did not surface as an error", tc.name)
+		}
+		var pe *par.PanicError
+		switch tc.rule.Action {
+		case faultinject.ActionPanic:
+			if !errors.As(err, &pe) {
+				t.Fatalf("%s: err %v does not carry *par.PanicError", tc.name, err)
+			}
+		case faultinject.ActionError:
+			if !errors.Is(err, faultinject.ErrInjected) {
+				t.Fatalf("%s: err %v does not match ErrInjected", tc.name, err)
+			}
+		}
+	}
+
+	// Fault-free rerun: byte-identical to the clean run.
+	got, err := SolveOneRound(all, 4, 3, 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("fault-free rerun differs: %+v vs %+v", got, want)
+	}
+
+	// No goroutine leaks from the faulted sweeps.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutine leak: %d before chaos, %d after", before, n)
+	}
+}

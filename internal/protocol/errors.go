@@ -1,0 +1,57 @@
+package protocol
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"ksettop/internal/par"
+)
+
+// ErrBudgetExceeded is the sentinel every solver budget trip matches under
+// errors.Is, so callers can branch on "budget exhausted" without string
+// matching. The concrete error is always a *BudgetError carrying the
+// deterministic accounting.
+var ErrBudgetExceeded = errors.New("protocol: node budget exhausted")
+
+// BudgetError reports a tripped solver node budget. Nodes is the
+// deterministic node count charged at the trip — identical at every
+// -parallelism setting (see solver_parallel.go's determinism argument), so
+// the whole error string is part of the engine's reproducibility contract.
+type BudgetError struct {
+	Budget int // the configured node budget
+	Nodes  int // deterministic nodes charged when the budget tripped
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("protocol: node budget %d exhausted (%d nodes charged)", e.Budget, e.Nodes)
+}
+
+// Is matches ErrBudgetExceeded.
+func (e *BudgetError) Is(target error) bool { return target == ErrBudgetExceeded }
+
+func errBudget(budget, nodes int) error {
+	return &BudgetError{Budget: budget, Nodes: nodes}
+}
+
+// errSolveCancelled is the internal marker the search layers return when a
+// stop hook fires; the entry layer replaces it with the sweep's actual
+// cause (context cancellation, injected fault, worker panic).
+var errSolveCancelled = errors.New("protocol: solve cancelled")
+
+// cancelCause resolves the user-facing error of a cancelled solve: the
+// sweep's recorded cause if any, else the context's, else plain
+// cancellation.
+func cancelCause(ctl *par.Ctl, ctx context.Context) error {
+	var cause error
+	if ctl != nil {
+		cause = ctl.Cause()
+	}
+	if cause == nil && ctx != nil {
+		cause = context.Cause(ctx)
+	}
+	if cause == nil {
+		cause = context.Canceled
+	}
+	return fmt.Errorf("protocol: solve aborted: %w", cause)
+}

@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"context"
 	"fmt"
 
 	"ksettop/internal/bits"
@@ -72,13 +73,28 @@ type SolveResult struct {
 // The search is exponential; nodeBudget bounds explored nodes (error when
 // exhausted).
 func SolveOneRound(roundGraphs []graph.Digraph, numValues, k, nodeBudget int) (SolveResult, error) {
-	return SolveOneRoundEngine(roundGraphs, numValues, k, nodeBudget, CurrentSearchEngine())
+	return SolveOneRoundEngineCtx(context.Background(), roundGraphs, numValues, k, nodeBudget, CurrentSearchEngine())
+}
+
+// SolveOneRoundCtx is SolveOneRound bound to a context: cancellation or
+// deadline expiry aborts the search cooperatively (table build, probe, task
+// sweep — all within one shard / ~128 nodes of polling granularity) and
+// returns a wrapped context error. Runs that complete are byte-identical to
+// uncancelled SolveOneRound calls.
+func SolveOneRoundCtx(ctx context.Context, roundGraphs []graph.Digraph, numValues, k, nodeBudget int) (SolveResult, error) {
+	return SolveOneRoundEngineCtx(ctx, roundGraphs, numValues, k, nodeBudget, CurrentSearchEngine())
 }
 
 // SolveOneRoundEngine is SolveOneRound pinned to an explicit search engine,
 // for callers (cross-checks, experiments) that must not flip the
 // process-wide SetSearchEngine state under concurrent solves.
 func SolveOneRoundEngine(roundGraphs []graph.Digraph, numValues, k, nodeBudget int, engine SearchEngine) (SolveResult, error) {
+	return SolveOneRoundEngineCtx(context.Background(), roundGraphs, numValues, k, nodeBudget, engine)
+}
+
+// SolveOneRoundEngineCtx is the context-aware engine-pinned entry the other
+// three SolveOneRound variants delegate to.
+func SolveOneRoundEngineCtx(ctx context.Context, roundGraphs []graph.Digraph, numValues, k, nodeBudget int, engine SearchEngine) (SolveResult, error) {
 	if len(roundGraphs) == 0 {
 		return SolveResult{}, fmt.Errorf("protocol: no graphs to solve over")
 	}
@@ -158,14 +174,26 @@ func SolveOneRoundEngine(roundGraphs []graph.Digraph, numValues, k, nodeBudget i
 	shards := par.NumShards(total)
 	var views *viewIntern
 	var constraints *constraintIntern
+	tableCtl := &par.Ctl{}
 	if shards <= 1 {
-		views, constraints = buildSolveTables(in, 0, total)
+		if err := par.ForEachShardNCtx(ctx, total, 1, tableCtl, func(_ int, from, to int64, _ *par.Ctl) {
+			views, constraints = buildSolveTables(in, from, to)
+		}); err != nil {
+			return SolveResult{}, cancelCause(tableCtl, ctx)
+		}
 	} else {
 		localViews := make([]*viewIntern, shards)
 		localCons := make([]*constraintIntern, shards)
-		par.ForEachShardN(total, shards, &par.Ctl{}, func(shard int, from, to int64, _ *par.Ctl) {
+		if err := par.ForEachShardNCtx(ctx, total, shards, tableCtl, func(shard int, from, to int64, _ *par.Ctl) {
 			localViews[shard], localCons[shard] = buildSolveTables(in, from, to)
-		})
+		}); err != nil {
+			// Cancelled mid-build: some shard tables are missing, so the
+			// merge (and everything after it) is off the table.
+			return SolveResult{}, cancelCause(tableCtl, ctx)
+		}
+		if tableCtl.Stopped() {
+			return SolveResult{}, cancelCause(tableCtl, ctx)
+		}
 		views, constraints = mergeSolveTables(n, localViews, localCons)
 	}
 
@@ -178,8 +206,18 @@ func SolveOneRoundEngine(roundGraphs []graph.Digraph, numValues, k, nodeBudget i
 	switch engine {
 	case SearchSeq:
 		s := newCSPState(t, nil, nil)
-		solved, err := s.searchSeq(&res.Nodes, nodeBudget)
+		var stop func() bool
+		if ctx != nil && ctx.Done() != nil {
+			seqCtl := &par.Ctl{}
+			release := seqCtl.Bind(ctx)
+			defer release()
+			stop = seqCtl.Stopped
+		}
+		solved, err := s.searchSeq(&res.Nodes, nodeBudget, stop)
 		if err != nil {
+			if err == errSolveCancelled {
+				return res, cancelCause(nil, ctx)
+			}
 			return res, err
 		}
 		if solved {
@@ -187,7 +225,7 @@ func SolveOneRoundEngine(roundGraphs []graph.Digraph, numValues, k, nodeBudget i
 			res.Map = t.decisionMap(s.decided)
 		}
 	default:
-		out, err := solveParallel(t, nodeBudget)
+		out, err := solveParallel(ctx, t, nodeBudget)
 		res.Nodes = out.nodes
 		res.Stats = out.stats
 		if err != nil {

@@ -1,10 +1,12 @@
 package protocol
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"ksettop/internal/faultinject"
 	"ksettop/internal/par"
 )
 
@@ -201,7 +203,7 @@ type SearchStats struct {
 // Probe phase ----------------------------------------------------------------
 
 type probeOutcome struct {
-	status searchStatus // statusSolved | statusRefuted | statusCapped
+	status searchStatus // statusSolved | statusRefuted | statusCapped | statusCancelled
 	nodes  int
 	state  *cspState // holds the witness assignment when solved
 }
@@ -209,8 +211,11 @@ type probeOutcome struct {
 // probe runs the sequential CBJ search under a restart ladder: each
 // attempt's node cap quadruples, conflict clauses persist across restarts
 // in the shared store, and the phase ends when the instance is decided or
-// the probe limit (or the budget, if smaller) is exhausted.
-func probe(t *solveTables, shared *nogoodStore, budget int) probeOutcome {
+// the probe limit (or the budget, if smaller) is exhausted. stop, when
+// non-nil, aborts the phase with statusCancelled (external cancellation
+// only — it never participates in the deterministic accounting of runs
+// that complete).
+func probe(t *solveTables, shared *nogoodStore, budget int, stop func(nodes int) bool) probeOutcome {
 	s := newCSPState(t, nil, shared)
 	if !s.propagateFacts() {
 		return probeOutcome{status: statusRefuted, state: s}
@@ -230,10 +235,10 @@ func probe(t *solveTables, shared *nogoodStore, budget int) probeOutcome {
 		if rest := limit - used; attempt > rest {
 			attempt = rest
 		}
-		ctx := &cbjCtx{s: s, cap: attempt}
+		ctx := &cbjCtx{s: s, cap: attempt, stop: stop}
 		st := ctx.run()
 		used += ctx.nodes
-		if st == statusSolved || st == statusRefuted {
+		if st == statusSolved || st == statusRefuted || st == statusCancelled {
 			return probeOutcome{status: st, nodes: used, state: s}
 		}
 		if used >= limit {
@@ -362,6 +367,8 @@ type parallelRun struct {
 	tables  *solveTables
 	shared  *nogoodStore
 	taskCap int // per-task node cap (the budget minus probe and prefix nodes)
+	budget  int // the full node budget the rank-ordered reduction enforces
+	ctl     *par.Ctl
 
 	// statePool recycles cspStates between tasks: the big flat arrays
 	// (counts, firstSetter, matched counters) are identical after an
@@ -377,6 +384,25 @@ type parallelRun struct {
 	// tasks whose root path sorts after it abort. Stored behind an atomic
 	// pointer so the hot cancellation poll is a single load.
 	bound atomic.Pointer[[]uint8]
+
+	// Live budget accounting (all under mu). The rank-ordered reduction
+	// charges nodes in lexicographic path order, so the sweep can mirror
+	// that sum INCREMENTALLY: pending holds the sorted paths of every task
+	// queued or running, stash the finished records not yet chargeable, and
+	// prefixSum the charged prefix (seeded with probe + decomposition
+	// nodes). A record becomes chargeable once no pending task sorts below
+	// it — exactly when its position in the final reduction order is
+	// settled. The moment the charged prefix crosses the budget, the
+	// crossing path is published as the bound, cancelling every
+	// strictly-later task: the reduction provably stops at (or before) the
+	// crossing record, so those tasks' records were never going to be
+	// consumed. This is what fixes the tasks × budget overshoot — the old
+	// sweep only detected the aggregate trip after EVERY task had burned
+	// its private cap — without touching the deterministic reduction.
+	pending   [][]uint8
+	stash     []taskRecord
+	prefixSum int
+	acctDone  bool
 }
 
 // cancelledFor reports whether a task rooted at path is dominated by an
@@ -386,18 +412,96 @@ func (pr *parallelRun) cancelledFor(path []uint8) bool {
 	return b != nil && pathLess(*b, path)
 }
 
-// record stores a task outcome and publishes its path as the new bound when
-// it is a terminal event ranked below the current one.
+// publishBoundLocked lowers the shared event bound to path (caller holds
+// pr.mu or is in single-threaded setup).
+func (pr *parallelRun) publishBoundLocked(path []uint8) {
+	if cur := pr.bound.Load(); cur == nil || pathLess(path, *cur) {
+		p := append([]uint8(nil), path...)
+		pr.bound.Store(&p)
+	}
+}
+
+// registerPending adds a task path to the pending set, keeping it sorted.
+// Initial tasks are registered before the sweep starts; spawned children
+// are registered by the spawn hook BEFORE they reach the deque, so the
+// pending set can never miss a task that sorts below a finished record.
+func (pr *parallelRun) registerPending(path []uint8) {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	i := sort.Search(len(pr.pending), func(i int) bool { return !pathLess(pr.pending[i], path) })
+	pr.pending = append(pr.pending, nil)
+	copy(pr.pending[i+1:], pr.pending[i:])
+	pr.pending[i] = path
+}
+
+// record stores a task outcome, removes it from the pending set, publishes
+// its path as the new bound when it is a terminal event ranked below the
+// current one, and folds newly-chargeable records into the live budget
+// accounting.
 func (pr *parallelRun) record(r taskRecord) {
 	pr.mu.Lock()
 	defer pr.mu.Unlock()
 	pr.records = append(pr.records, r)
-	if r.status != taskWitness && r.status != taskBudget {
+	i := sort.Search(len(pr.pending), func(i int) bool { return !pathLess(pr.pending[i], r.path) })
+	if i < len(pr.pending) && !pathLess(r.path, pr.pending[i]) {
+		pr.pending = append(pr.pending[:i], pr.pending[i+1:]...)
+	}
+	if r.status == taskWitness || r.status == taskBudget {
+		pr.publishBoundLocked(r.path)
+	}
+	j := sort.Search(len(pr.stash), func(j int) bool { return !pathLess(pr.stash[j].path, r.path) })
+	pr.stash = append(pr.stash, taskRecord{})
+	copy(pr.stash[j+1:], pr.stash[j:])
+	pr.stash[j] = r
+	pr.foldLocked()
+}
+
+// foldLocked advances the live budget accounting over every record whose
+// reduction position is settled (no pending task sorts below it). It stops
+// permanently at the first terminal or cancelled record — the reduction
+// stops there too — and publishes the crossing path as the event bound the
+// moment the charged prefix exceeds the budget.
+func (pr *parallelRun) foldLocked() {
+	for !pr.acctDone && len(pr.stash) > 0 {
+		r := pr.stash[0]
+		if len(pr.pending) > 0 && pathLess(pr.pending[0], r.path) {
+			return // a lower-ranked task is still in flight
+		}
+		pr.stash = pr.stash[1:]
+		if r.status != taskCompleted {
+			pr.acctDone = true // reduction stops at this record
+			return
+		}
+		pr.prefixSum += r.nodes
+		if pr.prefixSum > pr.budget {
+			pr.publishBoundLocked(r.path)
+			pr.acctDone = true
+			return
+		}
+	}
+}
+
+// budgetCrossed is the running-task side of the live accounting, polled
+// from a task's stop hook: if the task at path is the LOWEST pending path —
+// so the charged prefix below it is final — and its own progress pushes the
+// sum past the budget, the task's path becomes the event bound. That
+// cancels everything strictly after it; the task itself keeps running to
+// its deterministic conclusion (cancelledFor is strict), so the node count
+// the reduction charges at the trip is schedule-free. Overshoot is thereby
+// bounded by ONE task's private cap instead of tasks × cap.
+func (pr *parallelRun) budgetCrossed(path []uint8, nodes int) {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if pr.acctDone || len(pr.pending) == 0 {
 		return
 	}
-	if cur := pr.bound.Load(); cur == nil || pathLess(r.path, *cur) {
-		p := append([]uint8(nil), r.path...)
-		pr.bound.Store(&p)
+	min := pr.pending[0]
+	if pathLess(min, path) || pathLess(path, min) {
+		return // not the lowest pending task
+	}
+	if pr.prefixSum+nodes > pr.budget {
+		pr.publishBoundLocked(path)
+		pr.acctDone = true
 	}
 }
 
@@ -406,7 +510,12 @@ func (pr *parallelRun) record(r taskRecord) {
 // still-untried root value is spawned onto the deque as its own task and
 // this task retires.
 func (pr *parallelRun) runTask(task searchTask, d *par.Deque) {
-	if pr.cancelledFor(task.path) {
+	if pr.cancelledFor(task.path) || pr.ctl.Stopped() {
+		pr.record(taskRecord{path: task.path, status: taskCancelled})
+		return
+	}
+	if err := faultinject.Hit(faultinject.PointSolverTask); err != nil {
+		pr.ctl.StopCause(err)
 		pr.record(taskRecord{path: task.path, status: taskCancelled})
 		return
 	}
@@ -434,18 +543,27 @@ func (pr *parallelRun) runTask(task searchTask, d *par.Deque) {
 		return
 	}
 	ctx := &cbjCtx{
-		s:              s,
-		cap:            pr.taskCap,
-		stop:           func() bool { return pr.cancelledFor(task.path) },
+		s:   s,
+		cap: pr.taskCap,
+		stop: func(nodes int) bool {
+			if pr.cancelledFor(task.path) || pr.ctl.Stopped() {
+				return true
+			}
+			pr.budgetCrossed(task.path, nodes)
+			return false
+		},
 		splitThreshold: splitNodeThreshold,
 	}
 	ctx.spawn = func(pathSuffix []uint8, decisions []int32) {
 		// Hand an untried value-branch prefix to the deque; whoever steals
-		// it restarts from the (deterministic) extended prefix.
+		// it restarts from the (deterministic) extended prefix. Register it
+		// pending FIRST so the budget accounting sees it before any worker
+		// can record it.
 		child := searchTask{
 			path:      append(append([]uint8(nil), task.path...), pathSuffix...),
 			decisions: append(append([]int32(nil), task.decisions...), decisions...),
 		}
+		pr.registerPending(child.path)
 		d.Spawn(func(dd *par.Deque) { pr.runTask(child, dd) })
 	}
 	rec := taskRecord{path: task.path}
@@ -479,12 +597,33 @@ type parallelResult struct {
 	stats   SearchStats
 }
 
+// debugSweepNodes records the total nodes actually explored by the last
+// parallel sweep across ALL task records, cancelled ones included. This is
+// wall-clock work, schedule-dependent by nature; it exists so the budget
+// regression tests can assert the overshoot stays near one task's cap
+// instead of tasks × cap. Not part of the public deterministic accounting.
+var debugSweepNodes atomic.Int64
+
 // solveParallel runs the full parallel engine: probe, decomposition,
-// work-stealing sweep, rank-ordered reduction.
-func solveParallel(t *solveTables, budget int) (parallelResult, error) {
+// work-stealing sweep, rank-ordered reduction. ctx cancellation (and
+// injected faults or contained worker panics) abort the sweep promptly with
+// an error; runs that complete are byte-identical at every parallelism.
+func solveParallel(ctx context.Context, t *solveTables, budget int) (parallelResult, error) {
+	ctl := &par.Ctl{}
+	release := ctl.Bind(ctx)
+	defer release()
+	res := parallelResult{}
+	if ctx != nil && ctx.Err() != nil {
+		ctl.StopCause(context.Cause(ctx))
+		return res, cancelCause(ctl, ctx)
+	}
 	shared := newSharedNogoodStore(len(t.views), t.numValues)
-	po := probe(t, shared, budget)
-	res := parallelResult{nodes: po.nodes}
+	var probeStop func(int) bool
+	if ctx != nil && ctx.Done() != nil {
+		probeStop = func(int) bool { return ctl.Stopped() }
+	}
+	po := probe(t, shared, budget, probeStop)
+	res.nodes = po.nodes
 	res.stats.ProbeNodes = po.nodes
 	res.stats.SharedNogoods = shared.count()
 	switch po.status {
@@ -494,9 +633,11 @@ func solveParallel(t *solveTables, budget int) (parallelResult, error) {
 		return res, nil
 	case statusRefuted:
 		return res, nil
+	case statusCancelled:
+		return res, cancelCause(ctl, ctx)
 	}
 	if po.nodes >= budget {
-		return res, errBudget(budget)
+		return res, errBudget(budget, res.nodes)
 	}
 
 	// The probe hit its limit: freeze the shared store and go wide.
@@ -504,37 +645,49 @@ func solveParallel(t *solveTables, budget int) (parallelResult, error) {
 	res.stats.PrefixNodes = prefixNodes
 	res.nodes += prefixNodes
 	if res.nodes >= budget {
-		return res, errBudget(budget)
+		return res, errBudget(budget, res.nodes)
 	}
 	// Budget semantics in the parallel phase: every task gets the full
 	// remaining budget as its PRIVATE cap, and the rank-ordered reduction
-	// enforces the aggregate deterministically afterwards. A sweep can
-	// therefore explore up to taskCap × tasks nodes of wall-clock work in
-	// the worst case before the budget error is reported — the price of
-	// keeping budget trips byte-identical across worker counts (a shared
-	// live counter would cancel tasks the deterministic reduction still
-	// needs). Budgets bound per-task work exactly and the reported result
-	// always reflects the deterministic accounting.
+	// enforces the aggregate deterministically afterwards. The live
+	// accounting in parallelRun (prefixSum / pending / budgetCrossed)
+	// mirrors the reduction incrementally and cancels everything ranked
+	// past the first budget crossing, so the sweep's overshoot is bounded
+	// by one task's private cap — not taskCap × tasks — while the records
+	// the reduction consumes stay byte-identical across worker counts (a
+	// plain shared live counter would cancel tasks the deterministic
+	// reduction still needs).
 	pr := &parallelRun{
-		tables:  t,
-		shared:  shared,
-		taskCap: budget - res.nodes,
-		records: records,
+		tables:    t,
+		shared:    shared,
+		taskCap:   budget - res.nodes,
+		budget:    budget,
+		ctl:       ctl,
+		records:   records,
+		prefixSum: res.nodes,
 	}
-	// Witnesses found during decomposition bound the sweep from the start.
+	// Witnesses found during decomposition bound the sweep from the start
+	// and seed the accounting stash (they are settled records).
 	for _, r := range records {
-		if cur := pr.bound.Load(); cur == nil || pathLess(r.path, *cur) {
-			p := append([]uint8(nil), r.path...)
-			pr.bound.Store(&p)
-		}
+		pr.publishBoundLocked(r.path)
+		pr.stash = append(pr.stash, r)
 	}
+	sort.Slice(pr.stash, func(i, j int) bool { return pathLess(pr.stash[i].path, pr.stash[j].path) })
 	sort.Slice(tasks, func(i, j int) bool { return pathLess(tasks[i].path, tasks[j].path) })
 	deqTasks := make([]par.Task, len(tasks))
 	for i, task := range tasks {
 		task := task
+		pr.registerPending(task.path)
 		deqTasks[i] = func(d *par.Deque) { pr.runTask(task, d) }
 	}
-	par.RunDeque(deqTasks, nil)
+	if err := par.RunDequeCtx(ctx, deqTasks, ctl); err != nil {
+		return res, cancelCause(ctl, ctx)
+	}
+	if cause := ctl.Cause(); cause != nil {
+		// External cancellation (context, injected fault) observed by a
+		// task rather than the deque itself.
+		return res, cancelCause(ctl, ctx)
+	}
 
 	// Rank-ordered reduction: consume records in lexicographic path order,
 	// stopping at the first terminal event. Every record before that event
@@ -542,6 +695,11 @@ func solveParallel(t *solveTables, budget int) (parallelResult, error) {
 	// aggregate; records past it (including any cancelled ones) never
 	// influence the result.
 	sort.Slice(pr.records, func(i, j int) bool { return pathLess(pr.records[i].path, pr.records[j].path) })
+	sweepNodes := int64(res.nodes)
+	for _, r := range pr.records {
+		sweepNodes += int64(r.nodes)
+	}
+	debugSweepNodes.Store(sweepNodes)
 	for _, r := range pr.records {
 		if r.status == taskCancelled {
 			break
@@ -552,14 +710,14 @@ func solveParallel(t *solveTables, budget int) (parallelResult, error) {
 		res.stats.Tasks++
 		if r.status == taskWitness {
 			if res.nodes > budget {
-				return res, errBudget(budget)
+				return res, errBudget(budget, res.nodes)
 			}
 			res.solved = true
 			res.decided = r.decided
 			return res, nil
 		}
 		if r.status == taskBudget || res.nodes > budget {
-			return res, errBudget(budget)
+			return res, errBudget(budget, res.nodes)
 		}
 	}
 	return res, nil

@@ -416,7 +416,10 @@ func TestPooledStateCleanAfterWitnessTask(t *testing.T) {
 		tables:  tables,
 		shared:  newNogoodStore(len(tables.views), tables.numValues, maxSharedNogoods, maxNogoodLen),
 		taskCap: 1000,
+		budget:  1000,
+		ctl:     &par.Ctl{},
 	}
+	pr.registerPending(nil)
 	pr.runTask(searchTask{}, nil)
 	if len(pr.records) != 1 || pr.records[0].status != taskWitness {
 		t.Fatalf("expected a witness record, got %+v", pr.records)

@@ -1,7 +1,5 @@
 package protocol
 
-import "fmt"
-
 // This file is the search layer of the decision-map solver: the seed-style
 // sequential backtracking oracle (SearchSeq) and the conflict-driven
 // backjumping (CBJ) search with nogood learning that the parallel engine's
@@ -18,21 +16,22 @@ import "fmt"
 // pruning can never change which witness is found first, only how many
 // nodes the refutation costs.
 
-func errBudget(budget int) error {
-	return fmt.Errorf("protocol: node budget %d exhausted", budget)
-}
-
 // searchSeq is the sequential oracle: plain forward-checking backtracking,
 // counting one node per branch point, with no learning, no backjumping and
 // no fact pre-propagation. Kept as the -search=seq cross-check for the
-// parallel engine.
-func (s *cspState) searchSeq(nodes *int, budget int) (bool, error) {
+// parallel engine. stop, when non-nil, is polled about every 128 nodes;
+// returning true aborts with errSolveCancelled (the entry layer swaps in
+// the actual cause).
+func (s *cspState) searchSeq(nodes *int, budget int, stop func() bool) (bool, error) {
 	best := s.selectView()
 	if best == -1 {
 		return true, nil // all views assigned
 	}
 	if *nodes >= budget {
-		return false, errBudget(budget)
+		return false, errBudget(budget, *nodes)
+	}
+	if stop != nil && *nodes&127 == 0 && stop() {
+		return false, errSolveCancelled
 	}
 	*nodes++
 	dom := s.domains[best]
@@ -42,7 +41,7 @@ func (s *cspState) searchSeq(nodes *int, budget int) (bool, error) {
 		}
 		mark := len(s.trail)
 		if s.assign(best, val, true) {
-			ok, err := s.searchSeq(nodes, budget)
+			ok, err := s.searchSeq(nodes, budget, stop)
 			if err != nil {
 				return false, err
 			}
@@ -97,9 +96,11 @@ type cbjCtx struct {
 	nodes int
 	// cap aborts the search with statusCapped once nodes reaches it.
 	cap int
-	// stop, when non-nil, is polled about every 128 nodes; returning true
-	// aborts with statusCancelled.
-	stop func() bool
+	// stop, when non-nil, is polled about every 128 nodes with the current
+	// node count; returning true aborts with statusCancelled. The count lets
+	// the parallel engine's budget accounting watch a running task's
+	// progress without touching the search state.
+	stop func(nodes int) bool
 	// spawn, when non-nil, enables work splitting: once nodes exceeds
 	// splitThreshold and ≥2 value branches are still untried across the
 	// open frames, the ENTIRE remaining frontier — every untried value of
@@ -210,7 +211,7 @@ func (c *cbjCtx) run() searchStatus {
 			c.popFrames()
 			return statusCapped
 		}
-		if c.stop != nil && c.nodes&127 == 0 && c.stop() {
+		if c.stop != nil && c.nodes&127 == 0 && c.stop(c.nodes) {
 			c.popFrames()
 			return statusCancelled
 		}

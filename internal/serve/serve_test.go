@@ -1,0 +1,507 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ksettop/internal/faultinject"
+)
+
+// The chaos suite drives the service through injected panics, errors,
+// delays, compressed deadlines, corrupt snapshots and overload, asserting
+// the hardening contract: clean JSON errors, correct status codes, no
+// process crash, no goroutine leaks, and byte-identical answers for
+// repeated queries. faultinject state is process-global, so no test here
+// calls t.Parallel().
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// post sends a JSON body and returns status plus raw response bytes.
+func post(t *testing.T, ts *httptest.Server, path, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+func errKind(t *testing.T, body []byte) string {
+	t.Helper()
+	var env struct {
+		Error apiError `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("error body %q is not the JSON envelope: %v", body, err)
+	}
+	return env.Error.Kind
+}
+
+func TestServeSolveDeterministic(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := `{"model":"star:n=3","values":3,"k":2}`
+	st1, b1 := post(t, ts, "/v1/solve", req)
+	st2, b2 := post(t, ts, "/v1/solve", req)
+	if st1 != http.StatusOK || st2 != http.StatusOK {
+		t.Fatalf("statuses %d, %d, want 200 (bodies %s / %s)", st1, st2, b1, b2)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("repeated query not byte-identical:\n%s\n%s", b1, b2)
+	}
+	var res SolveResponse
+	if err := json.Unmarshal(b1, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Views == 0 || res.Nodes == 0 {
+		t.Errorf("implausible solve response %+v", res)
+	}
+}
+
+func TestServeBettiAndBounds(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	st, body := post(t, ts, "/v1/betti", `{"model":"star:n=3","values":2,"max_dim":2}`)
+	if st != http.StatusOK {
+		t.Fatalf("betti status %d: %s", st, body)
+	}
+	var betti BettiResponse
+	if err := json.Unmarshal(body, &betti); err != nil {
+		t.Fatal(err)
+	}
+	if len(betti.Betti) != 3 {
+		t.Errorf("betti = %v, want 3 entries", betti.Betti)
+	}
+
+	st, body = post(t, ts, "/v1/bounds", `{"model":"star:n=4","rounds":2}`)
+	if st != http.StatusOK {
+		t.Fatalf("bounds status %d: %s", st, body)
+	}
+	var bounds BoundsResponse
+	if err := json.Unmarshal(body, &bounds); err != nil {
+		t.Fatal(err)
+	}
+	if bounds.N != 4 || len(bounds.Best) != 2 || bounds.Report == "" {
+		t.Errorf("implausible bounds response N=%d best=%d report=%dB",
+			bounds.N, len(bounds.Best), len(bounds.Report))
+	}
+}
+
+func TestServeValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/solve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status %d, want 405", resp.StatusCode)
+	}
+	for _, tc := range []struct{ path, body string }{
+		{"/v1/solve", `{not json`},
+		{"/v1/solve", `{"model":"nonsense:spec","values":2,"k":1}`},
+		{"/v1/solve", `{"model":"star:n=3","values":0,"k":2}`},
+		{"/v1/betti", `{"model":"star:n=3","values":2,"max_dim":-1}`},
+		{"/v1/bounds", `{"model":"","rounds":1}`},
+	} {
+		st, body := post(t, ts, tc.path, tc.body)
+		if st != http.StatusBadRequest {
+			t.Errorf("%s %s: status %d, want 400 (%s)", tc.path, tc.body, st, body)
+		} else if kind := errKind(t, body); kind != "bad_request" {
+			t.Errorf("%s: kind %q, want bad_request", tc.path, kind)
+		}
+	}
+}
+
+func TestServeBudgetRejections(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxSolverBudget: 10_000})
+	// Asking beyond the server cap is rejected at admission.
+	st, body := post(t, ts, "/v1/solve", `{"model":"star:n=3","values":3,"k":2,"budget":20000}`)
+	if st != http.StatusUnprocessableEntity {
+		t.Fatalf("over-cap status %d: %s", st, body)
+	}
+	if kind := errKind(t, body); kind != "budget" {
+		t.Errorf("over-cap kind %q, want budget", kind)
+	}
+	// A budget the search actually exhausts surfaces the typed solver error
+	// with its deterministic nodes-charged accounting.
+	st, body = post(t, ts, "/v1/solve", `{"model":"star:n=4","values":4,"k":3,"budget":10}`)
+	if st != http.StatusUnprocessableEntity {
+		t.Fatalf("exhausted status %d: %s", st, body)
+	}
+	var env struct {
+		Error apiError `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Kind != "budget" || !strings.Contains(env.Error.Message, "node budget 10 exhausted") {
+		t.Errorf("exhausted error = %+v", env.Error)
+	}
+	if env.Error.Budget != 10 || env.Error.Nodes < 10 {
+		t.Errorf("budget accounting = %+v, want Budget=10, Nodes ≥ 10", env.Error)
+	}
+	if s.Stats().BudgetRejects != 2 {
+		t.Errorf("BudgetRejects = %d, want 2", s.Stats().BudgetRejects)
+	}
+}
+
+func TestServeDeadlineExpires(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxTimeout: 5 * time.Second})
+	// star:n=4 consensus refutation costs tens of thousands of solver nodes;
+	// a 1ms budget cannot finish it.
+	st, body := post(t, ts, "/v1/solve", `{"model":"star:n=4","values":4,"k":3,"timeout_ms":1}`)
+	if st != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", st, body)
+	}
+	if kind := errKind(t, body); kind != "deadline" {
+		t.Errorf("kind %q, want deadline", kind)
+	}
+	if s.Stats().Timeouts == 0 {
+		t.Error("Timeouts counter did not move")
+	}
+}
+
+func TestServeDeadlineCompression(t *testing.T) {
+	// An armed deadline rule squeezes every request budget to 0.1% —
+	// modeling an LB cutting requests short — so even a generous timeout_ms
+	// expires mid-sweep and surfaces as a clean 504.
+	faultinject.Enable(1, faultinject.Rule{
+		Point:  faultinject.PointServeRequest,
+		Action: faultinject.ActionDeadline,
+		Every:  1,
+		Frac:   0.001,
+	})
+	defer faultinject.Disable()
+	_, ts := newTestServer(t, Config{MaxTimeout: 5 * time.Second})
+	st, body := post(t, ts, "/v1/solve", `{"model":"star:n=4","values":4,"k":3,"timeout_ms":2000}`)
+	if st != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", st, body)
+	}
+	if kind := errKind(t, body); kind != "deadline" {
+		t.Errorf("kind %q, want deadline", kind)
+	}
+}
+
+func TestServeInjectedPanicIsolated(t *testing.T) {
+	faultinject.Enable(1, faultinject.Rule{
+		Point:  faultinject.PointServeRequest,
+		Action: faultinject.ActionPanic,
+		Nth:    1,
+	})
+	defer faultinject.Disable()
+	s, ts := newTestServer(t, Config{})
+	st, body := post(t, ts, "/v1/solve", `{"model":"star:n=3","values":3,"k":2}`)
+	if st != http.StatusInternalServerError {
+		t.Fatalf("panicked request status %d: %s", st, body)
+	}
+	if kind := errKind(t, body); kind != "internal" {
+		t.Errorf("kind %q, want internal", kind)
+	}
+	if !strings.Contains(string(body), "injected panic") {
+		t.Errorf("panic message lost: %s", body)
+	}
+	// The rule fired once; the service must keep answering.
+	st, _ = post(t, ts, "/v1/solve", `{"model":"star:n=3","values":3,"k":2}`)
+	if st != http.StatusOK {
+		t.Errorf("post-panic request status %d, want 200", st)
+	}
+	if got := s.Stats().Panics; got != 1 {
+		t.Errorf("Panics = %d, want 1", got)
+	}
+}
+
+func TestServeInjectedError(t *testing.T) {
+	faultinject.Enable(1, faultinject.Rule{
+		Point:  faultinject.PointServeRequest,
+		Action: faultinject.ActionError,
+		Nth:    1,
+	})
+	defer faultinject.Disable()
+	_, ts := newTestServer(t, Config{})
+	st, body := post(t, ts, "/v1/solve", `{"model":"star:n=3","values":3,"k":2}`)
+	if st != http.StatusInternalServerError || errKind(t, body) != "internal" {
+		t.Fatalf("injected error: status %d body %s", st, body)
+	}
+	st, _ = post(t, ts, "/v1/solve", `{"model":"star:n=3","values":3,"k":2}`)
+	if st != http.StatusOK {
+		t.Errorf("post-error request status %d, want 200", st)
+	}
+}
+
+func TestServeOverloadSheds(t *testing.T) {
+	// Every admitted request sleeps 300ms while holding its admission slot;
+	// with MaxConcurrent=1 a concurrent burst must shed with 503.
+	faultinject.Enable(1, faultinject.Rule{
+		Point:  faultinject.PointServeRequest,
+		Action: faultinject.ActionDelay,
+		Every:  1,
+		Delay:  300 * time.Millisecond,
+	})
+	defer faultinject.Disable()
+	s, ts := newTestServer(t, Config{MaxConcurrent: 1})
+	const burst = 6
+	statuses := make([]int, burst)
+	var wg sync.WaitGroup
+	for i := range statuses {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/solve", "application/json",
+				strings.NewReader(`{"model":"star:n=3","values":3,"k":2}`))
+			if err != nil {
+				statuses[i] = -1
+				return
+			}
+			resp.Body.Close()
+			statuses[i] = resp.StatusCode
+		}(i)
+	}
+	wg.Wait()
+	var ok, shed int
+	for _, st := range statuses {
+		switch st {
+		case http.StatusOK:
+			ok++
+		case http.StatusServiceUnavailable:
+			shed++
+		default:
+			t.Errorf("unexpected status %d in burst", st)
+		}
+	}
+	if ok == 0 || shed == 0 {
+		t.Errorf("burst statuses %v: want both 200s and 503s", statuses)
+	}
+	if s.Stats().Overloaded == 0 {
+		t.Error("Overloaded counter did not move")
+	}
+}
+
+func TestServeSingleflightCoalesces(t *testing.T) {
+	// Identical concurrent queries coalesce behind one computation: each
+	// request sleeps 100ms at the fault hook, so the whole burst reaches the
+	// singleflight together while the leader's solve is still running.
+	faultinject.Enable(1, faultinject.Rule{
+		Point:  faultinject.PointServeRequest,
+		Action: faultinject.ActionDelay,
+		Every:  1,
+		Delay:  100 * time.Millisecond,
+	})
+	defer faultinject.Disable()
+	s, ts := newTestServer(t, Config{MaxConcurrent: 16})
+	const burst = 6
+	bodies := make([][]byte, burst)
+	var wg sync.WaitGroup
+	for i := range bodies {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, body := post(t, ts, "/v1/solve", `{"model":"star:n=4","values":4,"k":3}`)
+			if st == http.StatusOK {
+				bodies[i] = body
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, b := range bodies {
+		if b == nil {
+			t.Fatalf("request %d failed", i)
+		}
+		if !bytes.Equal(b, bodies[0]) {
+			t.Errorf("request %d body differs:\n%s\n%s", i, b, bodies[0])
+		}
+	}
+	t.Logf("shared %d of %d requests", s.Stats().Shared, burst)
+}
+
+func TestServeCorruptSnapshotWarmBoot(t *testing.T) {
+	var mu sync.Mutex
+	var logs []string
+	logf := func(format string, args ...any) {
+		mu.Lock()
+		logs = append(logs, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	path := filepath.Join(t.TempDir(), "serve.snap")
+	if err := os.WriteFile(path, []byte("definitely not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{SnapshotPath: path, Logf: logf})
+	s.WarmBoot() // must neither panic nor fail startup
+	mu.Lock()
+	joined := strings.Join(logs, "\n")
+	mu.Unlock()
+	if !strings.Contains(joined, "starting cold") {
+		t.Errorf("corrupt snapshot boot did not log a cold start: %q", joined)
+	}
+	// A checkpoint rewrites the file; the next boot is warm.
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s.WarmBoot()
+	mu.Lock()
+	joined = strings.Join(logs, "\n")
+	mu.Unlock()
+	if !strings.Contains(joined, "warm boot") {
+		t.Errorf("rewritten snapshot did not warm-boot: %q", joined)
+	}
+	if s.Stats().Checkpoints != 1 {
+		t.Errorf("Checkpoints = %d, want 1", s.Stats().Checkpoints)
+	}
+}
+
+func TestServeHealthAndStats(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		OK bool `json:"ok"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !health.OK {
+		t.Errorf("healthz = %d ok=%v", resp.StatusCode, health.OK)
+	}
+
+	post(t, ts, "/v1/solve", `{"model":"star:n=3","values":3,"k":2}`)
+	resp, err = http.Get(ts.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Requests == 0 {
+		t.Errorf("statz requests = %d, want > 0", stats.Requests)
+	}
+	if got := s.Stats().Requests; got != stats.Requests {
+		t.Errorf("Stats() = %d requests, statz reported %d", got, stats.Requests)
+	}
+}
+
+func TestServeGracefulDrain(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "drain.snap")
+	s := New(Config{SnapshotPath: path, CheckpointEvery: time.Hour, Logf: t.Logf})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx, "127.0.0.1:0", 2*time.Second) }()
+
+	var addr string
+	for i := 0; i < 200; i++ {
+		if addr = s.Addr(); addr != "" {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatal("server never bound")
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not drain")
+	}
+	// The final checkpoint must have been written.
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("final snapshot missing: %v", err)
+	}
+}
+
+// TestServeChaosNoLeaks runs a mixed fault workload — panics, errors,
+// delays, expired deadlines — and asserts the goroutine count settles back:
+// detached computations, flight waiters and checkpointers all terminate.
+func TestServeChaosNoLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+	func() {
+		faultinject.Enable(42,
+			faultinject.Rule{Point: faultinject.PointServeRequest, Action: faultinject.ActionPanic, Nth: 2, Every: 5},
+			faultinject.Rule{Point: faultinject.PointServeRequest, Action: faultinject.ActionError, Nth: 4, Every: 5},
+		)
+		defer faultinject.Disable()
+		s, ts := newTestServer(t, Config{MaxConcurrent: 4, MaxTimeout: 2 * time.Second})
+		var wg sync.WaitGroup
+		reqs := []struct{ path, body string }{
+			{"/v1/solve", `{"model":"star:n=3","values":3,"k":2}`},
+			{"/v1/solve", `{"model":"star:n=4","values":4,"k":3,"timeout_ms":1}`},
+			{"/v1/betti", `{"model":"star:n=3","values":2,"max_dim":2}`},
+			{"/v1/solve", `{"model":"star:n=4","values":4,"k":3,"budget":10}`},
+			{"/v1/bounds", `{"model":"star:n=4","rounds":1}`},
+		}
+		for round := 0; round < 4; round++ {
+			for _, rq := range reqs {
+				wg.Add(1)
+				go func(path, body string) {
+					defer wg.Done()
+					resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+					if err == nil {
+						resp.Body.Close()
+						switch resp.StatusCode {
+						case http.StatusOK, http.StatusInternalServerError,
+							http.StatusServiceUnavailable, http.StatusGatewayTimeout,
+							http.StatusUnprocessableEntity:
+						default:
+							t.Errorf("%s: unexpected status %d", path, resp.StatusCode)
+						}
+					}
+				}(rq.path, rq.body)
+			}
+			wg.Wait()
+		}
+		if s.Stats().Panics == 0 {
+			t.Error("chaos run injected no panics — schedule mismatch?")
+		}
+	}()
+	// Detached computations from the 504s are bounded by MaxTimeout=2s;
+	// give the runtime until ~4s to settle back to the baseline.
+	deadline := time.Now().Add(4 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= before+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after chaos", before, now)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

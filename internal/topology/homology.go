@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"context"
 	"fmt"
 	mathbits "math/bits"
 	"slices"
@@ -58,6 +59,16 @@ func SetHomologyEngine(e HomologyEngine) { homologyEngine.Store(int32(e)) }
 // default; SetHomologyEngine(EngineSparse) selects the pure-sparse PR-3
 // reduction and SetHomologyEngine(EnginePacked) restores the seed oracle.
 func ReducedBettiNumbers(c *AbstractComplex, maxDim int) ([]int, error) {
+	return ReducedBettiNumbersCtx(context.Background(), c, maxDim)
+}
+
+// ReducedBettiNumbersCtx is ReducedBettiNumbers bound to a context: ctx
+// expiry cancels the hybrid/sparse reduction across all workers and returns
+// the context's cause. The packed oracle has no cancellation points beyond
+// an upfront expiry check — it is the small-instance seed path, where a
+// single reduction finishes in microseconds. A completed call is identical
+// to ReducedBettiNumbers at every parallelism setting.
+func ReducedBettiNumbersCtx(ctx context.Context, c *AbstractComplex, maxDim int) ([]int, error) {
 	if maxDim < 0 {
 		return nil, fmt.Errorf("topology: negative homology dimension %d", maxDim)
 	}
@@ -66,11 +77,14 @@ func ReducedBettiNumbers(c *AbstractComplex, maxDim int) ([]int, error) {
 	}
 	switch CurrentHomologyEngine() {
 	case EnginePacked:
+		if ctx != nil && ctx.Err() != nil {
+			return nil, fmt.Errorf("topology: reduction aborted: %w", context.Cause(ctx))
+		}
 		return ReducedBettiNumbersOracle(c, maxDim)
 	case EngineSparse:
-		return homology.ReducedBettiSparse(c, maxDim)
+		return homology.ReducedBettiSparseCtx(ctx, c, maxDim)
 	}
-	return homology.ReducedBetti(c, maxDim)
+	return homology.ReducedBettiCtx(ctx, c, maxDim)
 }
 
 // ReducedBettiNumbersFromLevels is ReducedBettiNumbers for callers that
@@ -80,6 +94,12 @@ func ReducedBettiNumbers(c *AbstractComplex, maxDim int) ([]int, error) {
 // oracle has no level-table form, so under EnginePacked this falls back to
 // the complex itself.
 func ReducedBettiNumbersFromLevels(c *AbstractComplex, levels [][][]int, maxDim int) ([]int, error) {
+	return ReducedBettiNumbersFromLevelsCtx(context.Background(), c, levels, maxDim)
+}
+
+// ReducedBettiNumbersFromLevelsCtx is ReducedBettiNumbersFromLevels bound to
+// a context (see ReducedBettiNumbersCtx for the cancellation contract).
+func ReducedBettiNumbersFromLevelsCtx(ctx context.Context, c *AbstractComplex, levels [][][]int, maxDim int) ([]int, error) {
 	if maxDim < 0 {
 		return nil, fmt.Errorf("topology: negative homology dimension %d", maxDim)
 	}
@@ -90,6 +110,9 @@ func ReducedBettiNumbersFromLevels(c *AbstractComplex, levels [][][]int, maxDim 
 		return nil, fmt.Errorf("topology: levels reach dimension %d, need %d", len(levels)-1, maxDim+1)
 	}
 	if CurrentHomologyEngine() == EnginePacked {
+		if ctx != nil && ctx.Err() != nil {
+			return nil, fmt.Errorf("topology: reduction aborted: %w", context.Cause(ctx))
+		}
 		return ReducedBettiNumbersOracle(c, maxDim)
 	}
 	cc, err := homology.NewChainComplexFromLevels(levels)
@@ -97,9 +120,9 @@ func ReducedBettiNumbersFromLevels(c *AbstractComplex, levels [][][]int, maxDim 
 		return nil, err
 	}
 	if CurrentHomologyEngine() == EngineSparse {
-		return cc.ReducedBettiSparse(maxDim)
+		return cc.ReducedBettiSparseCtx(ctx, maxDim)
 	}
-	return cc.ReducedBetti(maxDim)
+	return cc.ReducedBettiCtx(ctx, maxDim)
 }
 
 // ReducedBettiNumbersOracle is the seed GF(2) reduction — the bit-packed
