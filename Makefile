@@ -1,7 +1,7 @@
 GO ?= go
 # Benchmark snapshot index: bump per PR so the perf trajectory accumulates
 # (BENCH_1.json, BENCH_2.json, …).
-BENCH_N ?= 6
+BENCH_N ?= 7
 
 .PHONY: all build test vet race bench benchjson benchcheck chaos experiments clean
 
@@ -18,16 +18,18 @@ vet:
 
 # Race-check the packages that fan work out across goroutines.
 race:
-	$(GO) test -race ./internal/par/ ./internal/graph/ ./internal/combinat/ .
+	$(GO) test -race ./internal/par/ ./internal/graph/ ./internal/combinat/ ./internal/dist/ .
 
 # The chaos suite under the race detector: fault injection, cancellation,
-# budget trips, leak checks and the hardened service, each test individually
-# time-boxed so a stuck drain fails fast instead of hanging CI.
+# budget trips, leak checks, the hardened service and the distributed sweep
+# tier (worker crashes, stragglers, corrupt responses, coordinator
+# kill/restart recovery), each test individually time-boxed so a stuck drain
+# fails fast instead of hanging CI.
 chaos:
-	$(GO) test -race -timeout 10m -run 'Chaos|Fault|Cancel|Leak|Budget|Serve|Flight|Snapshot|Deadline' \
+	$(GO) test -race -timeout 10m -run 'Chaos|Fault|Cancel|Leak|Budget|Serve|Flight|Snapshot|Deadline|Dist|Ring|Journal|Race' \
 		./internal/faultinject/ ./internal/par/ ./internal/protocol/ \
 		./internal/model/ ./internal/homology/ ./internal/memo/ \
-		./internal/cli/ ./internal/serve/
+		./internal/cli/ ./internal/serve/ ./internal/dist/
 
 # Smoke-run every benchmark once (also re-validates the E1–E17 tables).
 bench:

@@ -1,12 +1,19 @@
 package ksettop
 
 import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"ksettop/internal/bits"
 	"ksettop/internal/combinat"
+	"ksettop/internal/dist"
 	"ksettop/internal/experiments"
+	"ksettop/internal/faultinject"
 	"ksettop/internal/graph"
 	"ksettop/internal/memo"
 	"ksettop/internal/model"
@@ -441,6 +448,95 @@ func BenchmarkSolveOneRoundClosure(b *testing.B) {
 		res, err := protocol.SolveOneRound(all, 4, 3, 50_000_000)
 		if err != nil || res.Solvable {
 			b.Fatalf("solvable=%v err=%v, want impossibility", res.Solvable, err)
+		}
+	}
+}
+
+// BenchmarkDistSweepCount mirrors the ksetbench DistSweepCount row: a full
+// coordinated count sweep over 3 in-process workers on the n=5 star closure,
+// checked byte-identical against the sequential engine every iteration.
+func BenchmarkDistSweepCount(b *testing.B) {
+	workers, stop := benchDistWorkers(b, 3)
+	defer stop()
+	job := dist.Job{Op: dist.OpCount, Model: "star:n=5"}
+	want, err := dist.RunSequential(context.Background(), job)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := dist.NewCoordinator(dist.CoordConfig{
+		Workers:        workers,
+		Shards:         24,
+		DisableHedging: true,
+		Logf:           func(string, ...any) {},
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		got, err := c.Run(context.Background(), job)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			b.Fatal("distributed sweep differs from sequential reference")
+		}
+	}
+}
+
+// BenchmarkDistRecovery mirrors the ksetbench DistRecovery row: the timed
+// portion is a coordinator warm-restart on a journal holding 11 of 24 shard
+// commits (the untimed setup kills a fresh coordinator at the 12th commit).
+func BenchmarkDistRecovery(b *testing.B) {
+	workers, stop := benchDistWorkers(b, 3)
+	defer stop()
+	cfg := dist.CoordConfig{
+		Workers:        workers,
+		Shards:         24,
+		DisableHedging: true,
+		JournalPath:    filepath.Join(b.TempDir(), "sweep.journal"),
+		Logf:           func(string, ...any) {},
+	}
+	job := dist.Job{Op: dist.OpEnum, Model: "star:n=4"}
+	want, err := dist.RunSequential(context.Background(), job)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		os.Remove(cfg.JournalPath)
+		faultinject.Enable(1, faultinject.Rule{
+			Point:  faultinject.PointDistCommit,
+			Nth:    12,
+			Action: faultinject.ActionError,
+		})
+		if _, err := dist.NewCoordinator(cfg).Run(context.Background(), job); err == nil {
+			faultinject.Disable()
+			b.Fatal("injected coordinator kill did not fire")
+		}
+		faultinject.Disable()
+		c := dist.NewCoordinator(cfg)
+		b.StartTimer()
+		got, err := c.Run(context.Background(), job)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			b.Fatal("recovered sweep differs from sequential reference")
+		}
+	}
+}
+
+func benchDistWorkers(b *testing.B, n int) ([]string, func()) {
+	b.Helper()
+	addrs := make([]string, n)
+	servers := make([]*httptest.Server, n)
+	for i := range addrs {
+		w := dist.NewWorker(dist.WorkerConfig{Logf: func(string, ...any) {}})
+		servers[i] = httptest.NewServer(w.Handler())
+		addrs[i] = strings.TrimPrefix(servers[i].URL, "http://")
+	}
+	return addrs, func() {
+		for _, ts := range servers {
+			ts.Close()
 		}
 	}
 }

@@ -20,6 +20,8 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -27,6 +29,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"regexp"
 	"runtime"
 	"sort"
@@ -39,7 +42,9 @@ import (
 	"ksettop/internal/bits"
 	"ksettop/internal/cli"
 	"ksettop/internal/combinat"
+	"ksettop/internal/dist"
 	"ksettop/internal/experiments"
+	"ksettop/internal/faultinject"
 	"ksettop/internal/graph"
 	"ksettop/internal/memo"
 	"ksettop/internal/model"
@@ -612,5 +617,102 @@ func benches() []bench {
 				}
 			}
 		}},
+		{"DistSweepCount", func(b *testing.B) {
+			// A full coordinated count sweep over 3 in-process workers
+			// (real HTTP on loopback): ring placement, leases, shard
+			// dispatch, CRC verification and the ordered merge — the
+			// steady-state cost of the distributed tier on the n=5 star
+			// closure (5·2^16 ranks, 24 shards).
+			workers, stop := benchWorkers(3)
+			defer stop()
+			job := dist.Job{Op: dist.OpCount, Model: "star:n=5"}
+			want, err := dist.RunSequential(context.Background(), job)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c := dist.NewCoordinator(dist.CoordConfig{
+				Workers:        workers,
+				Shards:         24,
+				DisableHedging: true,
+				Logf:           func(string, ...any) {},
+			})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				got, err := c.Run(context.Background(), job)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					b.Fatal("distributed sweep differs from sequential reference")
+				}
+			}
+		}},
+		{"DistRecovery", func(b *testing.B) {
+			// Warm-restart recovery: a coordinator killed after journaling
+			// 11 of 24 shard commits restarts on the same journal and
+			// finishes the sweep. Only the resumed run is timed — the row
+			// tracks how much of the sweep a restart actually pays for
+			// (journaled shards are skipped, the rest recomputed).
+			workers, stop := benchWorkers(3)
+			defer stop()
+			dir, err := os.MkdirTemp("", "ksetbench-dist")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			cfg := dist.CoordConfig{
+				Workers:        workers,
+				Shards:         24,
+				DisableHedging: true,
+				JournalPath:    filepath.Join(dir, "sweep.journal"),
+				Logf:           func(string, ...any) {},
+			}
+			job := dist.Job{Op: dist.OpEnum, Model: "star:n=4"}
+			want, err := dist.RunSequential(context.Background(), job)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				os.Remove(cfg.JournalPath)
+				faultinject.Enable(1, faultinject.Rule{
+					Point:  faultinject.PointDistCommit,
+					Nth:    12,
+					Action: faultinject.ActionError,
+				})
+				if _, err := dist.NewCoordinator(cfg).Run(context.Background(), job); err == nil {
+					faultinject.Disable()
+					b.Fatal("injected coordinator kill did not fire")
+				}
+				faultinject.Disable()
+				c := dist.NewCoordinator(cfg)
+				b.StartTimer()
+				got, err := c.Run(context.Background(), job)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					b.Fatal("recovered sweep differs from sequential reference")
+				}
+			}
+		}},
+	}
+}
+
+// benchWorkers starts n in-process sweep workers on loopback listeners and
+// returns their addresses plus a shutdown func.
+func benchWorkers(n int) ([]string, func()) {
+	addrs := make([]string, n)
+	servers := make([]*httptest.Server, n)
+	for i := range addrs {
+		w := dist.NewWorker(dist.WorkerConfig{Logf: func(string, ...any) {}})
+		servers[i] = httptest.NewServer(w.Handler())
+		addrs[i] = strings.TrimPrefix(servers[i].URL, "http://")
+	}
+	return addrs, func() {
+		for _, ts := range servers {
+			ts.Close()
+		}
 	}
 }

@@ -12,11 +12,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 
 	"ksettop/internal/cli"
 	"ksettop/internal/core"
+	"ksettop/internal/dist"
+	"ksettop/internal/model"
 	"ksettop/internal/par"
 	"ksettop/internal/protocol"
 )
@@ -37,8 +40,15 @@ func run() error {
 	solverBudget := flag.Int("solver-budget", 0, cli.SolverBudgetFlagUsage)
 	clauseBudget := flag.Int("clause-budget", 0, cli.ClauseBudgetFlagUsage)
 	memoSnapshot := flag.String("memo-snapshot", "", cli.MemoSnapshotUsage)
+	workers := flag.String("workers", "", cli.WorkersFlagUsage)
 	flag.Parse()
 	par.SetParallelism(*parallelism)
+	if list := cli.SplitWorkers(*workers); len(list) > 0 {
+		coord := dist.NewCoordinator(dist.CoordConfig{Workers: list})
+		coord.Start(context.Background())
+		model.SetDistributor(coord)
+		defer model.SetDistributor(nil)
+	}
 	if err := cli.ApplyMemoFlag(*memoFlag); err != nil {
 		return err
 	}

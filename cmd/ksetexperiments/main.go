@@ -15,13 +15,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"strings"
 	"time"
 
 	"ksettop/internal/cli"
+	"ksettop/internal/dist"
 	"ksettop/internal/experiments"
+	"ksettop/internal/model"
 	"ksettop/internal/par"
 )
 
@@ -40,8 +43,15 @@ func run() error {
 	searchFlag := flag.String("search", "parallel", cli.SearchFlagUsage)
 	solverBudget := flag.Int("solver-budget", 0, cli.SolverBudgetFlagUsage)
 	clauseBudget := flag.Int("clause-budget", 0, cli.ClauseBudgetFlagUsage)
+	workers := flag.String("workers", "", cli.WorkersFlagUsage)
 	flag.Parse()
 	par.SetParallelism(*parallelism)
+	if list := cli.SplitWorkers(*workers); len(list) > 0 {
+		coord := dist.NewCoordinator(dist.CoordConfig{Workers: list})
+		coord.Start(context.Background())
+		model.SetDistributor(coord)
+		defer model.SetDistributor(nil)
+	}
 	if err := cli.ApplyMemoFlag(*memoFlag); err != nil {
 		return err
 	}

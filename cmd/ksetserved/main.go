@@ -13,8 +13,16 @@
 //	POST /v1/solve   {"model","values","k","budget?","timeout_ms?"}
 //	POST /v1/betti   {"model","values","max_dim","timeout_ms?"}
 //	POST /v1/bounds  {"model","rounds","timeout_ms?"}
+//	POST /v1/count   {"model","timeout_ms?"}
 //	GET  /healthz    liveness
-//	GET  /statz      request/panic/shed/timeout counters
+//	GET  /readyz     readiness: warm boot finished, and in coordinator mode ≥1 live worker
+//	GET  /statz      request/panic/shed/timeout counters (+ dist counters in coordinator mode)
+//
+// With -workers host:port,... the daemon runs in coordinator mode: heavy
+// closure-count sweeps are sharded across the named ksetsweepd workers
+// (consistent-hash placement, lease/heartbeat failure detection, straggler
+// hedging, optional crash-recovery journal via -dist-journal), falling back
+// to the local engine when the fleet is unavailable.
 //
 // The daemon admission-controls concurrency (503 on overload), enforces
 // per-request deadlines (504), returns typed budget rejections (422),
@@ -37,7 +45,9 @@ import (
 	"time"
 
 	"ksettop/internal/cli"
+	"ksettop/internal/dist"
 	"ksettop/internal/faultinject"
+	"ksettop/internal/model"
 	"ksettop/internal/par"
 	"ksettop/internal/serve"
 )
@@ -63,6 +73,10 @@ func run() error {
 	drainGrace := flag.Duration("drain-grace", 15*time.Second, "shutdown grace for in-flight requests")
 	faults := flag.String("faults", "", "deterministic fault-injection rules, e.g. 'panic:serve.request@3,delay:par.task@1+100:1ms' (empty = off)")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for the fault-injection schedule")
+	workers := flag.String("workers", "", "comma-separated ksetsweepd worker addresses; non-empty enables coordinator mode")
+	distShards := flag.Int("dist-shards", 0, "shards per distributed sweep (0 = 8 × workers)")
+	distLease := flag.Duration("dist-lease", 15*time.Second, "shard lease TTL before a grant is forfeited and re-dispatched")
+	distJournal := flag.String("dist-journal", "", "shard-commit journal file for coordinator crash recovery (empty = off)")
 	flag.Parse()
 
 	par.SetParallelism(*parallelism)
@@ -84,6 +98,17 @@ func run() error {
 		defer faultinject.Disable()
 	}
 
+	var coord *dist.Coordinator
+	if list := cli.SplitWorkers(*workers); len(list) > 0 {
+		coord = dist.NewCoordinator(dist.CoordConfig{
+			Workers:     list,
+			Shards:      *distShards,
+			LeaseTTL:    *distLease,
+			JournalPath: *distJournal,
+		})
+		model.SetDistributor(coord)
+	}
+
 	s := serve.New(serve.Config{
 		MaxConcurrent:   *maxConcurrent,
 		DefaultTimeout:  *requestTimeout,
@@ -91,6 +116,7 @@ func run() error {
 		MaxSolverBudget: *solverBudget,
 		SnapshotPath:    *memoSnapshot,
 		CheckpointEvery: *checkpointEvery,
+		Coordinator:     coord,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,77 @@
+// Command ksetsweepd is the distributed-sweep worker daemon: it executes
+// rank-shard enumeration ops on behalf of a ksetserved/ksetbounds/
+// ksetexperiments coordinator and answers its heartbeat probes.
+//
+// Usage:
+//
+//	ksetsweepd -addr :9090
+//	ksetsweepd -addr 127.0.0.1:0 -max-concurrent 4 -max-lease 30s
+//	ksetsweepd -faults 'delay:dist.exec@1+3:200ms' -fault-seed 42
+//
+// Endpoints:
+//
+//	POST /dist/v1/exec       one shard grant: op + model + rank range + lease
+//	GET  /dist/v1/heartbeat  failure-detector probe
+//	GET  /healthz, /readyz   liveness (a worker has no warm boot: ready ⇔ live)
+//	GET  /statz              exec/error/shed/heartbeat counters
+//
+// Every shard response is CRC-checksummed before it leaves the worker, so the
+// coordinator detects corruption and re-dispatches; a worker that dies simply
+// stops answering heartbeats and its leases expire. The -faults flag arms the
+// same deterministic fault registry the chaos suite uses — crash, delay and
+// corrupt-response schedules replay verbatim against a production worker.
+package main
+
+import (
+	"context"
+	"flag"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ksettop/internal/cli"
+	"ksettop/internal/dist"
+	"ksettop/internal/faultinject"
+	"ksettop/internal/par"
+)
+
+func main() {
+	if err := run(); err != nil {
+		cli.Exit("ksetsweepd", err)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":9090", "listen address")
+	parallelism := flag.Int("parallelism", 0, "worker-pool size (0 = KSETTOP_PARALLELISM or GOMAXPROCS)")
+	memoFlag := flag.String("memo", "on", cli.MemoFlagUsage)
+	maxConcurrent := flag.Int("max-concurrent", 8, "concurrent shard executions admitted before shedding with 503")
+	maxLease := flag.Duration("max-lease", time.Minute, "hard cap on any granted lease duration")
+	drainGrace := flag.Duration("drain-grace", 15*time.Second, "shutdown grace for in-flight shard executions")
+	faults := flag.String("faults", "", "deterministic fault-injection rules, e.g. 'panic:dist.exec@3,corrupt:dist.result@2' (empty = off)")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for the fault-injection schedule")
+	flag.Parse()
+
+	par.SetParallelism(*parallelism)
+	if err := cli.ApplyMemoFlag(*memoFlag); err != nil {
+		return err
+	}
+	if *faults != "" {
+		rules, err := faultinject.ParseRules(*faults)
+		if err != nil {
+			return err
+		}
+		faultinject.Enable(*faultSeed, rules...)
+		defer faultinject.Disable()
+	}
+
+	w := dist.NewWorker(dist.WorkerConfig{
+		MaxConcurrent: *maxConcurrent,
+		MaxLease:      *maxLease,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return w.Run(ctx, *addr, *drainGrace)
+}

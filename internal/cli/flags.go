@@ -102,6 +102,21 @@ func LoadMemoSnapshot(path string) error {
 	return nil
 }
 
+// WorkersFlagUsage is the shared help text of the -workers flag.
+const WorkersFlagUsage = "comma-separated ksetsweepd worker addresses; non-empty distributes heavy closure sweeps across them (local fallback when the fleet is unavailable)"
+
+// SplitWorkers parses the shared -workers flag value: a comma-separated
+// address list, whitespace and empty entries tolerated.
+func SplitWorkers(value string) []string {
+	var out []string
+	for _, w := range strings.Split(value, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
 // ExitCode maps a tool's top-level error to its process exit code: typed
 // resource-budget rejections (protocol.ErrBudgetExceeded,
 // model.ErrEnumerationBudget) exit 2 — distinguishable by scripts from the

@@ -40,6 +40,9 @@ func ApplyMemoFlag(value string) error {
 //	clique:n=4          ↑clique (full synchrony)
 //	adj:0>1 2;1>0;2>    explicit generator: per-process out-neighbors,
 //	                    processes separated by ';', targets by spaces
+//	gens:0>1;1>0|0>;1>0 explicit generator SET: adjacency generators
+//	                    separated by '|' — the wire format FormatModel
+//	                    emits, so any model round-trips through a string
 func ParseModel(spec string) (*model.ClosedAbove, error) {
 	kind, rest, found := strings.Cut(spec, ":")
 	if !found {
@@ -51,6 +54,17 @@ func ParseModel(spec string) (*model.ClosedAbove, error) {
 			return nil, err
 		}
 		return model.Simple(g)
+	}
+	if kind == "gens" {
+		var gens []graph.Digraph
+		for _, part := range strings.Split(rest, "|") {
+			g, err := parseAdjacency(part)
+			if err != nil {
+				return nil, err
+			}
+			gens = append(gens, g)
+		}
+		return model.New(gens)
 	}
 	params, err := parseParams(rest)
 	if err != nil {
@@ -94,6 +108,42 @@ func ParseModel(spec string) (*model.ClosedAbove, error) {
 	default:
 		return nil, fmt.Errorf("cli: unknown model kind %q", kind)
 	}
+}
+
+// FormatModel renders m as a spec ParseModel parses back to the same model:
+// the generator set in adjacency form, one generator per '|'-separated
+// segment. Generators() is already minimal and canonically sorted, so the
+// round-trip is stable — FormatModel(ParseModel(FormatModel(m))) is the
+// identity — which makes this the wire format the distributed sweep tier
+// ships models across processes with.
+func FormatModel(m *model.ClosedAbove) string {
+	var sb strings.Builder
+	sb.WriteString("gens:")
+	for gi, g := range m.Generators() {
+		if gi > 0 {
+			sb.WriteByte('|')
+		}
+		n := g.N()
+		for u := 0; u < n; u++ {
+			if u > 0 {
+				sb.WriteByte(';')
+			}
+			sb.WriteString(strconv.Itoa(u))
+			sb.WriteByte('>')
+			first := true
+			g.Out(u).ForEach(func(v int) {
+				if v == u {
+					return // self-loops are implicit in the graph type
+				}
+				if !first {
+					sb.WriteByte(' ')
+				}
+				first = false
+				sb.WriteString(strconv.Itoa(v))
+			})
+		}
+	}
+	return sb.String()
 }
 
 func parseParams(s string) (map[string]int, error) {

@@ -75,3 +75,61 @@ func TestParseModelErrors(t *testing.T) {
 		}
 	}
 }
+
+// FormatModel must emit a spec that ParseModel round-trips to the SAME
+// model — this is the wire format the distributed sweep tier ships models
+// with, so a drift here silently corrupts remote shard work.
+func TestFormatModelRoundTrip(t *testing.T) {
+	specs := []string{
+		"star:n=4",
+		"stars:n=4,s=2",
+		"cycle:n=4",
+		"simple-star:n=5",
+		"clique:n=3",
+		"nonsplit:n=3",
+		"adj:0>1 2;1>2;2>",
+	}
+	for _, spec := range specs {
+		t.Run(spec, func(t *testing.T) {
+			m, err := ParseModel(spec)
+			if err != nil {
+				t.Fatalf("ParseModel(%q): %v", spec, err)
+			}
+			wire := FormatModel(m)
+			m2, err := ParseModel(wire)
+			if err != nil {
+				t.Fatalf("ParseModel(FormatModel) = ParseModel(%q): %v", wire, err)
+			}
+			gens, gens2 := m.Generators(), m2.Generators()
+			if len(gens) != len(gens2) {
+				t.Fatalf("round trip changed generator count %d → %d", len(gens), len(gens2))
+			}
+			for i := range gens {
+				if gens[i].Key() != gens2[i].Key() {
+					t.Fatalf("generator %d changed across round trip", i)
+				}
+			}
+			// The format must be stable: formatting the round-tripped model
+			// yields identical bytes (jobKey/journal identity depends on it).
+			if wire2 := FormatModel(m2); wire2 != wire {
+				t.Fatalf("FormatModel not stable: %q vs %q", wire, wire2)
+			}
+		})
+	}
+}
+
+func TestParseModelGens(t *testing.T) {
+	m, err := ParseModel("gens:0>1 2;1>2;2>|0>;1>0;2>1")
+	if err != nil {
+		t.Fatalf("ParseModel: %v", err)
+	}
+	if m.N() != 3 || m.GeneratorCount() != 2 {
+		t.Fatalf("n=%d gens=%d, want 3/2", m.N(), m.GeneratorCount())
+	}
+	if _, err := ParseModel("gens:"); err == nil {
+		t.Error("empty gens list should fail")
+	}
+	if _, err := ParseModel("gens:0>1;1>|0>"); err == nil {
+		t.Error("mismatched process counts should fail")
+	}
+}

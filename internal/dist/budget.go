@@ -1,0 +1,71 @@
+package dist
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"ksettop/internal/model"
+)
+
+// Budget is the shared work counter of one sweep, in enumeration ranks.
+// Every executor — the coordinator committing remote shards, each local
+// fallback worker finishing a shard — charges the SAME atomic counter, so a
+// tripped budget surfaces within roughly one shard of work: the crossing
+// charge cancels the sweep, in-flight shards observe the cancellation
+// within ~1k ranks, and queued shards are never dispatched. (The old
+// per-worker accounting let every worker burn its full budget before the
+// aggregate trip was noticed — up to workers × budget of wasted work.)
+type Budget struct {
+	limit int64
+	spent atomic.Int64
+}
+
+// NewBudget builds a budget of limit ranks; limit ≤ 0 means unlimited and
+// returns nil (a nil *Budget accepts any charge).
+func NewBudget(limit int64) *Budget {
+	if limit <= 0 {
+		return nil
+	}
+	return &Budget{limit: limit}
+}
+
+// Charge adds n ranks of completed work and returns a *BudgetError when the
+// running total crosses the limit. Nil-safe.
+func (b *Budget) Charge(n int64) error {
+	if b == nil {
+		return nil
+	}
+	if spent := b.spent.Add(n); spent > b.limit {
+		return &BudgetError{Limit: b.limit, Spent: spent}
+	}
+	return nil
+}
+
+// Tripped reports whether the budget has been exceeded. Nil-safe.
+func (b *Budget) Tripped() bool {
+	return b != nil && b.spent.Load() > b.limit
+}
+
+// Spent reports the ranks charged so far. Nil-safe.
+func (b *Budget) Spent() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.spent.Load()
+}
+
+// BudgetError reports a tripped sweep budget. It matches
+// model.ErrEnumerationBudget under errors.Is — a distributed sweep budget
+// IS an enumeration-work budget — so the CLIs' typed budget handling (exit
+// code 2) and the service's 422 mapping apply unchanged.
+type BudgetError struct {
+	Limit int64 // the configured budget, in ranks
+	Spent int64 // ranks charged when the trip surfaced
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("dist: sweep budget %d ranks exhausted (%d charged)", e.Limit, e.Spent)
+}
+
+// Is matches model.ErrEnumerationBudget.
+func (e *BudgetError) Is(target error) bool { return target == model.ErrEnumerationBudget }

@@ -1,0 +1,119 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"ksettop/internal/cli"
+	"ksettop/internal/model"
+)
+
+func TestBudgetNilUnlimited(t *testing.T) {
+	b := NewBudget(0)
+	if b != nil {
+		t.Fatal("limit 0 should return nil (unlimited)")
+	}
+	if err := b.Charge(1 << 40); err != nil {
+		t.Fatalf("nil budget charged: %v", err)
+	}
+	if b.Tripped() || b.Spent() != 0 {
+		t.Fatal("nil budget has no state")
+	}
+}
+
+func TestBudgetErrorMatchesEnumerationBudget(t *testing.T) {
+	b := NewBudget(10)
+	if err := b.Charge(10); err != nil {
+		t.Fatalf("charge at limit should pass: %v", err)
+	}
+	err := b.Charge(1)
+	if err == nil {
+		t.Fatal("charge past limit should trip")
+	}
+	if !errors.Is(err, model.ErrEnumerationBudget) {
+		t.Fatalf("budget error %v must match model.ErrEnumerationBudget (exit-code-2 / HTTP-422 mapping)", err)
+	}
+	if cli.ExitCode(err) != 2 {
+		t.Fatalf("ExitCode(%v) = %d, want 2", err, cli.ExitCode(err))
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Limit != 10 || be.Spent != 11 {
+		t.Fatalf("BudgetError accounting: %+v", be)
+	}
+}
+
+// The overshoot regression: with W concurrent executors charging one SHARED
+// counter, total work past the limit is bounded by roughly one shard per
+// executor in flight — never workers × budget, which is what per-worker
+// budget copies used to allow.
+func TestBudgetSharedNoOvershoot(t *testing.T) {
+	const (
+		limit     = 1000
+		shardSize = 100
+		workers   = 8
+	)
+	b := NewBudget(limit)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	totalCharged := int64(0)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if b.Tripped() {
+					return
+				}
+				err := b.Charge(shardSize)
+				mu.Lock()
+				totalCharged += shardSize
+				mu.Unlock()
+				if err != nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if !b.Tripped() {
+		t.Fatal("budget never tripped")
+	}
+	// Worst case: every worker has one uncharged shard in flight when the
+	// crossing charge lands.
+	if max := int64(limit + workers*shardSize); totalCharged > max {
+		t.Fatalf("charged %d ranks against limit %d; overshoot exceeds one shard per worker (max %d)", totalCharged, limit, max)
+	}
+}
+
+// A local sweep with a budget below the rank space must trip with the typed
+// error, and the trip must surface without scanning the whole space many
+// times over.
+func TestRunLocalBudgetTrip(t *testing.T) {
+	job := Job{Op: OpCount, Model: "star:n=4", Budget: 256} // rank space 2048
+	_, err := RunLocal(context.Background(), job, 16)
+	if err == nil {
+		t.Fatal("want budget trip")
+	}
+	if !errors.Is(err, model.ErrEnumerationBudget) {
+		t.Fatalf("trip error %v must match model.ErrEnumerationBudget", err)
+	}
+}
+
+// The budget is charged at completion: a sweep whose budget covers the rank
+// space exactly must succeed.
+func TestRunLocalBudgetExact(t *testing.T) {
+	job := Job{Op: OpCount, Model: "star:n=4", Budget: 2048}
+	out, err := RunLocal(context.Background(), job, 8)
+	if err != nil {
+		t.Fatalf("exact budget should pass: %v", err)
+	}
+	want, err := RunSequential(context.Background(), Job{Op: OpCount, Model: "star:n=4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != string(want) {
+		t.Fatal("budgeted local run diverged from sequential reference")
+	}
+}

@@ -1,0 +1,743 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ksettop/internal/cli"
+	"ksettop/internal/faultinject"
+	"ksettop/internal/model"
+	"ksettop/internal/par"
+)
+
+// CoordConfig tunes one Coordinator. Zero values select the defaults.
+type CoordConfig struct {
+	// Workers are the worker addresses (host:port). Empty means no
+	// distribution: Run falls back to the local in-process engine.
+	Workers []string
+	// VNodes is the virtual-node count per worker on the hash ring.
+	// Default 64.
+	VNodes int
+	// Shards overrides the shard count of a sweep (0 = 8 × workers,
+	// clamped to the rank-space size). The shard count is part of the job
+	// identity: a journal resume requires the same sharding.
+	Shards int
+	// LeaseTTL bounds one shard grant; an expired lease is a forfeited
+	// shard. Default 15s.
+	LeaseTTL time.Duration
+	// HeartbeatEvery is the failure-detector probe period. Default 500ms.
+	HeartbeatEvery time.Duration
+	// HeartbeatMisses consecutive failed probes declare a worker dead (its
+	// leases are revoked and re-dispatched). Default 3.
+	HeartbeatMisses int
+	// MaxAttempts bounds grants per shard (hedges included). Default 6.
+	MaxAttempts int
+	// RetryBase/RetryMax shape the exponential re-dispatch backoff
+	// (deterministic jitter on top). Defaults 50ms / 2s.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Straggler hedging: a shard outstanding longer than
+	// HedgeFactor × (HedgeQuantile of committed-shard durations) — never
+	// below HedgeMin, and only once ≥ 3 samples exist — is speculatively
+	// re-dispatched to the next replica. Defaults 0.95 / 2.0 / 200ms.
+	HedgeQuantile  float64
+	HedgeFactor    float64
+	HedgeMin       time.Duration
+	DisableHedging bool
+	// MinRanks is the rank-space size below which CountClosure declines
+	// distribution (HTTP overhead dominates tiny sweeps). Default 4096.
+	MinRanks int64
+	// SweepBudget is the shared work budget (ranks) applied to
+	// distributor-initiated sweeps; 0 = unlimited.
+	SweepBudget int64
+	// NoWorkerGrace is how long a sweep waits with zero live workers before
+	// failing. Default 10s.
+	NoWorkerGrace time.Duration
+	// Seed drives the deterministic retry jitter. Default 1.
+	Seed uint64
+	// JournalPath, when set, journals shard commits so a killed coordinator
+	// warm-restarts the sweep without recomputing committed shards.
+	JournalPath string
+	// Client is the HTTP client for grants and heartbeats. Default: plain
+	// client (per-request contexts carry the deadlines).
+	Client *http.Client
+	// Logf receives operational log lines. Default log.Printf.
+	Logf func(format string, args ...any)
+}
+
+func (c CoordConfig) withDefaults() CoordConfig {
+	if c.VNodes <= 0 {
+		c.VNodes = defaultVNodes
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 15 * time.Second
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 500 * time.Millisecond
+	}
+	if c.HeartbeatMisses <= 0 {
+		c.HeartbeatMisses = 3
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 6
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 50 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 2 * time.Second
+	}
+	if c.HedgeQuantile <= 0 || c.HedgeQuantile > 1 {
+		c.HedgeQuantile = 0.95
+	}
+	if c.HedgeFactor <= 0 {
+		c.HedgeFactor = 2.0
+	}
+	if c.HedgeMin <= 0 {
+		c.HedgeMin = 200 * time.Millisecond
+	}
+	if c.MinRanks <= 0 {
+		c.MinRanks = 4096
+	}
+	if c.NoWorkerGrace <= 0 {
+		c.NoWorkerGrace = 10 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// CoordStats is a point-in-time snapshot of the coordinator counters,
+// merged into /statz by ksetserved.
+type CoordStats struct {
+	Workers              int    `json:"workers"`                // configured workers
+	LiveWorkers          int    `json:"live_workers"`           // passing the failure detector now
+	Sweeps               uint64 `json:"sweeps"`                 // sweeps completed
+	SweepsFailed         uint64 `json:"sweeps_failed"`          // sweeps that returned an error
+	ShardsCommitted      uint64 `json:"shards_committed"`       // shard results accepted
+	LeasesGranted        uint64 `json:"leases_granted"`         // shard grants dispatched (retries + hedges included)
+	LeaseExpiries        uint64 `json:"lease_expiries"`         // grants that timed out or were revoked
+	Retries              uint64 `json:"retries"`                // failed grants scheduled for re-dispatch
+	Hedges               uint64 `json:"hedges"`                 // speculative straggler re-dispatches
+	HedgeWins            uint64 `json:"hedge_wins"`             // hedged grants that committed first
+	CorruptResponses     uint64 `json:"corrupt_responses"`      // payloads failing their checksum
+	DuplicateResults     uint64 `json:"duplicate_results"`      // completions for already-committed shards
+	CrossCheckMismatches uint64 `json:"cross_check_mismatches"` // duplicate results that disagreed byte-wise
+	WorkerDeaths         uint64 `json:"worker_deaths"`          // failure-detector death declarations
+	WorkerRejoins        uint64 `json:"worker_rejoins"`         // dead workers that came back
+	JournalResumes       uint64 `json:"journal_resumes"`        // sweeps warm-restarted from a journal
+	JournalSkips         uint64 `json:"journal_skips"`          // shards recovered from the journal (not recomputed)
+	BudgetTrips          uint64 `json:"budget_trips"`           // sweeps stopped by the shared budget
+}
+
+// Coordinator drives distributed sweeps over a fixed worker set, detecting
+// failures by lease expiry and heartbeats and recovering by deterministic
+// ring re-dispatch. It implements model.Distributor, so installing it with
+// model.SetDistributor routes the engines' heavy closure counts through the
+// worker fleet transparently.
+type Coordinator struct {
+	cfg    CoordConfig
+	ring   *Ring
+	client *http.Client
+
+	mu      sync.Mutex
+	live    map[string]bool
+	started bool
+
+	runMu sync.Mutex // one sweep at a time: the journal is per-sweep state
+
+	sweeps, sweepsFailed, shardsCommitted       atomic.Uint64
+	leasesGranted, leaseExpiries, retries       atomic.Uint64
+	hedges, hedgeWins                           atomic.Uint64
+	corruptResponses, duplicateResults          atomic.Uint64
+	crossCheckMismatches                        atomic.Uint64
+	workerDeaths, workerRejoins                 atomic.Uint64
+	journalResumes, journalSkips, budgetTrips   atomic.Uint64
+}
+
+// NewCoordinator builds a Coordinator over cfg.Workers. All workers start
+// presumed live; call Start to run the heartbeat failure detector (lease
+// expiry alone still guarantees progress without it).
+func NewCoordinator(cfg CoordConfig) *Coordinator {
+	cfg = cfg.withDefaults()
+	c := &Coordinator{
+		cfg:    cfg,
+		ring:   NewRing(cfg.VNodes),
+		client: cfg.Client,
+		live:   make(map[string]bool, len(cfg.Workers)),
+	}
+	for _, w := range cfg.Workers {
+		c.ring.Add(w)
+		c.live[w] = true
+	}
+	return c
+}
+
+// Start launches one heartbeat monitor per worker; they run until ctx is
+// cancelled. Calling Start more than once is a no-op.
+func (c *Coordinator) Start(ctx context.Context) {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return
+	}
+	c.started = true
+	c.mu.Unlock()
+	for _, w := range c.cfg.Workers {
+		go c.monitor(ctx, w)
+	}
+}
+
+// monitor is one worker's failure detector: HeartbeatMisses consecutive
+// failed probes declare it dead (revoking its leases), one success revives
+// it.
+func (c *Coordinator) monitor(ctx context.Context, worker string) {
+	t := time.NewTicker(c.cfg.HeartbeatEvery)
+	defer t.Stop()
+	misses := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		if c.probe(ctx, worker) {
+			misses = 0
+			c.setLive(worker, true)
+			continue
+		}
+		misses++
+		if misses >= c.cfg.HeartbeatMisses {
+			c.setLive(worker, false)
+		}
+	}
+}
+
+func (c *Coordinator) probe(ctx context.Context, worker string) bool {
+	pctx, cancel := context.WithTimeout(ctx, c.cfg.HeartbeatEvery)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, "http://"+worker+"/dist/v1/heartbeat", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
+
+func (c *Coordinator) setLive(worker string, live bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.live[worker] == live {
+		return
+	}
+	c.live[worker] = live
+	if live {
+		c.workerRejoins.Add(1)
+		c.cfg.Logf("dist: worker %s rejoined", worker)
+	} else {
+		c.workerDeaths.Add(1)
+		c.cfg.Logf("dist: worker %s declared dead (%d missed heartbeats)", worker, c.cfg.HeartbeatMisses)
+	}
+}
+
+func (c *Coordinator) isLive(worker string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.live[worker]
+}
+
+// LiveWorkers reports how many workers currently pass the failure detector.
+func (c *Coordinator) LiveWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, ok := range c.live {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns the current counters.
+func (c *Coordinator) Stats() CoordStats {
+	return CoordStats{
+		Workers:              len(c.cfg.Workers),
+		LiveWorkers:          c.LiveWorkers(),
+		Sweeps:               c.sweeps.Load(),
+		SweepsFailed:         c.sweepsFailed.Load(),
+		ShardsCommitted:      c.shardsCommitted.Load(),
+		LeasesGranted:        c.leasesGranted.Load(),
+		LeaseExpiries:        c.leaseExpiries.Load(),
+		Retries:              c.retries.Load(),
+		Hedges:               c.hedges.Load(),
+		HedgeWins:            c.hedgeWins.Load(),
+		CorruptResponses:     c.corruptResponses.Load(),
+		DuplicateResults:     c.duplicateResults.Load(),
+		CrossCheckMismatches: c.crossCheckMismatches.Load(),
+		WorkerDeaths:         c.workerDeaths.Load(),
+		WorkerRejoins:        c.workerRejoins.Load(),
+		JournalResumes:       c.journalResumes.Load(),
+		JournalSkips:         c.journalSkips.Load(),
+		BudgetTrips:          c.budgetTrips.Load(),
+	}
+}
+
+// splitmix64 drives the deterministic retry jitter (same PRNG family the
+// fault injector uses, so chaos schedules replay exactly).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// backoff returns the re-dispatch delay after `attempt` failed grants of
+// shard: RetryBase × 2^(attempt−1), capped at RetryMax, plus a deterministic
+// jitter in [0, RetryBase) so synchronized failures do not re-dispatch in
+// lockstep.
+func (c *Coordinator) backoff(shard, attempt int) time.Duration {
+	d := c.cfg.RetryBase << uint(attempt-1)
+	if d > c.cfg.RetryMax || d <= 0 {
+		d = c.cfg.RetryMax
+	}
+	j := splitmix64(c.cfg.Seed ^ uint64(shard)<<32 ^ uint64(attempt))
+	return d + time.Duration(j%uint64(c.cfg.RetryBase))
+}
+
+// grant is one outstanding shard lease.
+type grant struct {
+	worker  string
+	started time.Time
+	cancel  context.CancelFunc
+	hedge   bool
+}
+
+// shardState is the coordinator-side life of one rank shard.
+type shardState struct {
+	idx       int
+	from, to  int64
+	key       string
+	committed bool
+	result    []byte
+	attempts  int
+	grants    []*grant
+	nextTry   time.Time
+	lastErr   error
+}
+
+// completion is one grant's outcome, posted by its sender goroutine.
+type completion struct {
+	shard   int
+	g       *grant
+	payload []byte
+	err     error
+	elapsed time.Duration
+}
+
+// errCorruptResponse marks a payload failing its checksum.
+var errCorruptResponse = errors.New("dist: corrupt shard response (checksum mismatch)")
+
+// Run executes job across the configured workers and returns the merged
+// result — byte-identical to the sequential engine's output for the same
+// job, whatever crashes, expiries, retries or hedges happened on the way.
+// With no workers configured it falls back to the local in-process engine.
+func (c *Coordinator) Run(ctx context.Context, job Job) ([]byte, error) {
+	out, err := c.run(ctx, job)
+	if err != nil {
+		c.sweepsFailed.Add(1)
+		return nil, err
+	}
+	c.sweeps.Add(1)
+	return out, nil
+}
+
+func (c *Coordinator) run(ctx context.Context, job Job) ([]byte, error) {
+	if len(c.cfg.Workers) == 0 {
+		return RunLocal(ctx, job, c.cfg.Shards)
+	}
+	op, ok := LookupOp(job.Op)
+	if !ok {
+		return nil, fmt.Errorf("dist: unknown op %q", job.Op)
+	}
+	m, err := cli.ParseModel(job.Model)
+	if err != nil {
+		return nil, err
+	}
+	total, err := m.EnumerationSize()
+	if err != nil {
+		return nil, err
+	}
+	if total <= 0 {
+		return op.Merge(nil)
+	}
+	shards := c.cfg.Shards
+	if shards <= 0 {
+		shards = 8 * len(c.cfg.Workers)
+	}
+	if int64(shards) > total {
+		shards = int(total)
+	}
+
+	c.runMu.Lock()
+	defer c.runMu.Unlock()
+
+	var jr *Journal
+	commits := map[int][]byte{}
+	if c.cfg.JournalPath != "" {
+		var resumed bool
+		jr, commits, resumed, err = OpenJournal(c.cfg.JournalPath, jobKey(job, m, total, shards))
+		if err != nil {
+			return nil, err
+		}
+		if resumed {
+			c.journalResumes.Add(1)
+			c.journalSkips.Add(uint64(len(commits)))
+			c.cfg.Logf("dist: resumed sweep from journal, %d/%d shards already committed", len(commits), shards)
+		}
+	}
+	closeJournal := true
+	defer func() {
+		if jr != nil && closeJournal {
+			jr.Close()
+		}
+	}()
+
+	budget := NewBudget(job.Budget)
+	states := make([]*shardState, shards)
+	remaining := 0
+	for i := 0; i < shards; i++ {
+		from, to := par.ShardBounds(total, shards, i)
+		st := &shardState{idx: i, from: from, to: to, key: "shard/" + strconv.Itoa(i)}
+		if p, ok := commits[i]; ok {
+			st.committed = true
+			st.result = p
+		} else {
+			remaining++
+		}
+		states[i] = st
+	}
+
+	runCtx, cancelAll := context.WithCancel(ctx)
+	defer cancelAll()
+	done := make(chan completion, 64)
+	var samples []time.Duration // committed-grant durations, for the hedge threshold
+	var noWorkerSince time.Time
+
+	tick := c.cfg.LeaseTTL / 20
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	if tick > 250*time.Millisecond {
+		tick = 250 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+
+	fail := func(err error) ([]byte, error) {
+		cancelAll()
+		return nil, err
+	}
+
+	for remaining > 0 {
+		now := time.Now()
+
+		// Revoke leases held by workers the failure detector declared dead:
+		// cancelling the grant context fails the send immediately, which
+		// re-dispatches the shard to the next ring replica.
+		for _, st := range states {
+			if st.committed {
+				continue
+			}
+			for _, g := range st.grants {
+				if !c.isLive(g.worker) {
+					g.cancel()
+				}
+			}
+		}
+
+		// Dispatch: fresh grants, backoff retries, straggler hedges.
+		threshold := hedgeThreshold(samples, c.cfg)
+		for _, st := range states {
+			if st.committed || budget.Tripped() {
+				continue
+			}
+			if len(st.grants) == 0 {
+				if st.attempts >= c.cfg.MaxAttempts {
+					return fail(fmt.Errorf("dist: shard %d failed after %d attempts: %w", st.idx, st.attempts, st.lastErr))
+				}
+				if now.Before(st.nextTry) {
+					continue
+				}
+				target, ok := c.pickWorker(st.key, st.attempts)
+				if !ok {
+					if noWorkerSince.IsZero() {
+						noWorkerSince = now
+					} else if now.Sub(noWorkerSince) > c.cfg.NoWorkerGrace {
+						return fail(fmt.Errorf("dist: no live workers for %s", c.cfg.NoWorkerGrace))
+					}
+					continue
+				}
+				noWorkerSince = time.Time{}
+				c.launch(runCtx, job, st, target, false, done)
+				continue
+			}
+			// Straggler hedge: exactly one grant outstanding, past the
+			// percentile threshold, attempts left, and a distinct replica
+			// available.
+			if c.cfg.DisableHedging || len(st.grants) != 1 || threshold <= 0 || st.attempts >= c.cfg.MaxAttempts {
+				continue
+			}
+			if now.Sub(st.grants[0].started) < threshold {
+				continue
+			}
+			target, ok := c.pickWorker(st.key, st.attempts)
+			if !ok || target == st.grants[0].worker {
+				continue
+			}
+			c.hedges.Add(1)
+			c.launch(runCtx, job, st, target, true, done)
+		}
+
+		select {
+		case <-runCtx.Done():
+			return fail(fmt.Errorf("dist: sweep aborted: %w", context.Cause(runCtx)))
+		case <-ticker.C:
+		case comp := <-done:
+			st := states[comp.shard]
+			for i, g := range st.grants {
+				if g == comp.g {
+					st.grants = append(st.grants[:i], st.grants[i+1:]...)
+					break
+				}
+			}
+			if st.committed {
+				// First-committed wins; a duplicate completion (hedge or
+				// retry racing the winner) only cross-checks.
+				if comp.err == nil {
+					c.duplicateResults.Add(1)
+					if !bytes.Equal(comp.payload, st.result) {
+						c.crossCheckMismatches.Add(1)
+						c.cfg.Logf("dist: shard %d: duplicate result from %s DISAGREES with committed result", st.idx, comp.g.worker)
+					}
+				}
+				continue
+			}
+			if comp.err != nil {
+				st.lastErr = fmt.Errorf("worker %s: %w", comp.g.worker, comp.err)
+				if errors.Is(comp.err, errCorruptResponse) {
+					c.corruptResponses.Add(1)
+				}
+				if errors.Is(comp.err, context.DeadlineExceeded) || errors.Is(comp.err, context.Canceled) {
+					c.leaseExpiries.Add(1)
+				}
+				c.retries.Add(1)
+				st.nextTry = now.Add(c.backoff(st.idx, st.attempts))
+				continue
+			}
+			// Commit. The fault hook models the coordinator being killed at
+			// this exact commit point: the shard is NOT journaled and the
+			// sweep dies; a restart resumes from the journaled prefix.
+			if err := faultinject.Hit(faultinject.PointDistCommit); err != nil {
+				return fail(fmt.Errorf("dist: coordinator killed at commit of shard %d: %w", st.idx, err))
+			}
+			if jr != nil {
+				if err := jr.Append(st.idx, comp.payload); err != nil {
+					return fail(err)
+				}
+			}
+			st.committed = true
+			st.result = comp.payload
+			remaining--
+			c.shardsCommitted.Add(1)
+			samples = append(samples, comp.elapsed)
+			if comp.g.hedge {
+				c.hedgeWins.Add(1)
+			}
+			if err := budget.Charge(st.to - st.from); err != nil {
+				c.budgetTrips.Add(1)
+				return fail(err)
+			}
+		}
+	}
+
+	parts := make([][]byte, shards)
+	for i, st := range states {
+		parts[i] = st.result
+	}
+	out, err := op.Merge(parts)
+	if err != nil {
+		return nil, err
+	}
+	if jr != nil {
+		closeJournal = false
+		if err := jr.Remove(); err != nil {
+			c.cfg.Logf("dist: removing completed journal: %v", err)
+		}
+	}
+	return out, nil
+}
+
+// pickWorker resolves attempt number `attempt` of a shard to a live worker:
+// the shard's ring sequence (owner first, then the deterministic handoff
+// order) filtered to live members, indexed cyclically by attempt.
+func (c *Coordinator) pickWorker(key string, attempt int) (string, bool) {
+	seq := c.ring.Sequence(key, len(c.cfg.Workers))
+	c.mu.Lock()
+	liveSeq := seq[:0:0]
+	for _, w := range seq {
+		if c.live[w] {
+			liveSeq = append(liveSeq, w)
+		}
+	}
+	c.mu.Unlock()
+	if len(liveSeq) == 0 {
+		return "", false
+	}
+	return liveSeq[attempt%len(liveSeq)], true
+}
+
+// launch grants shard st to worker: a lease-bounded exec request whose
+// outcome lands on done.
+func (c *Coordinator) launch(runCtx context.Context, job Job, st *shardState, worker string, hedge bool, done chan completion) {
+	gctx, cancel := context.WithTimeout(runCtx, c.cfg.LeaseTTL)
+	g := &grant{worker: worker, started: time.Now(), cancel: cancel, hedge: hedge}
+	st.grants = append(st.grants, g)
+	st.attempts++
+	c.leasesGranted.Add(1)
+	req := ExecRequest{
+		Op:      job.Op,
+		Model:   job.Model,
+		Shard:   st.idx,
+		From:    st.from,
+		To:      st.to,
+		LeaseMs: c.cfg.LeaseTTL.Milliseconds(),
+	}
+	shard := st.idx
+	go func() {
+		defer cancel()
+		payload, err := c.exec(gctx, worker, req)
+		comp := completion{shard: shard, g: g, payload: payload, err: err, elapsed: time.Since(g.started)}
+		select {
+		case done <- comp:
+		case <-runCtx.Done():
+		}
+	}()
+}
+
+// exec performs one grant's HTTP round-trip and verifies the payload
+// checksum.
+func (c *Coordinator) exec(ctx context.Context, worker string, req ExecRequest) ([]byte, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+worker+"/dist/v1/exec", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(hreq)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			// Normalize transport-wrapped cancellations so the event loop's
+			// lease-expiry classification sees the context sentinel.
+			return nil, fmt.Errorf("lease: %w", ctxErr)
+		}
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, truncate(data, 200))
+	}
+	var er ExecResponse
+	if err := json.Unmarshal(data, &er); err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(er.Payload) != er.CRC {
+		return nil, errCorruptResponse
+	}
+	return er.Payload, nil
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) > n {
+		b = b[:n]
+	}
+	return string(bytes.TrimSpace(b))
+}
+
+// hedgeThreshold computes the straggler cutoff from committed-grant
+// durations: HedgeFactor × the HedgeQuantile percentile, floored at
+// HedgeMin; 0 (no hedging) until 3 samples exist.
+func hedgeThreshold(samples []time.Duration, cfg CoordConfig) time.Duration {
+	if len(samples) < 3 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	q := int(cfg.HedgeQuantile * float64(len(sorted)-1))
+	th := time.Duration(cfg.HedgeFactor * float64(sorted[q]))
+	if th < cfg.HedgeMin {
+		th = cfg.HedgeMin
+	}
+	return th
+}
+
+// CountClosure implements model.Distributor: heavy closure counts are
+// distributed across the worker fleet; tiny rank spaces, a dead fleet, or a
+// failed sweep (budget trips excepted — those are the caller's answer)
+// decline, so the caller's local engine still completes the count.
+func (c *Coordinator) CountClosure(ctx context.Context, m *model.ClosedAbove) (int64, bool, error) {
+	if c == nil || len(c.cfg.Workers) == 0 {
+		return 0, false, nil
+	}
+	size, err := m.EnumerationSize()
+	if err != nil || size < c.cfg.MinRanks {
+		return 0, false, nil
+	}
+	if c.LiveWorkers() == 0 {
+		return 0, false, nil
+	}
+	out, err := c.Run(ctx, Job{Op: OpCount, Model: cli.FormatModel(m), Budget: c.cfg.SweepBudget})
+	if err != nil {
+		if errors.Is(err, model.ErrEnumerationBudget) {
+			return 0, true, err
+		}
+		c.cfg.Logf("dist: distributed count failed (%v); falling back to local engine", err)
+		return 0, false, nil
+	}
+	count, err := DecodeCount(out)
+	if err != nil {
+		return 0, true, err
+	}
+	return count, true, nil
+}

@@ -1,0 +1,142 @@
+// Package dist is the fault-tolerant distributed sweep tier: a
+// coordinator/worker layer that spreads rank-shard ranges of the heavy
+// sweeps (closure enumeration, counts) across worker processes over
+// HTTP+JSON, designed around failure as the normal case.
+//
+// Placement is a consistent-hash ring with virtual nodes (Ring), so shard →
+// worker assignment is deterministic and a worker leaving moves only its own
+// shards, each to the next distinct node clockwise. Every shard grant is a
+// lease: a worker that crashes, stalls past its lease, partitions away from
+// the heartbeat monitor, or returns a payload failing its checksum simply
+// forfeits the shard, which is re-dispatched to the next ring replica with
+// exponential backoff + deterministic jitter. Shards outstanding past a
+// percentile-based straggler threshold are speculatively hedged rather than
+// quorum-waited. Committed shard results go to a CRC-checksummed append-only
+// journal so a killed coordinator warm-restarts and resumes the sweep
+// without recomputing committed shards. The final merge consumes results in
+// shard-index order, so the distributed output is byte-identical to the
+// sequential engine regardless of worker count, crashes, retries or hedges.
+package dist
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// defaultVNodes is the virtual-node count per worker: enough that the
+// keyspace splits evenly across a handful of workers, small enough that ring
+// construction stays trivial.
+const defaultVNodes = 64
+
+// ringPoint is one virtual node on the ring.
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// Ring is a consistent-hash ring with virtual nodes mapping shard keys to
+// worker nodes. It is deterministic: the same member set and vnode count
+// always produce the same placement, on every process. Ring is not
+// goroutine-safe; the coordinator builds it once per membership view.
+type Ring struct {
+	vnodes int
+	points []ringPoint
+	nodes  map[string]bool
+}
+
+// NewRing builds an empty ring with the given virtual-node count per node
+// (≤ 0 selects the default).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = defaultVNodes
+	}
+	return &Ring{vnodes: vnodes, nodes: make(map[string]bool)}
+}
+
+// ringHash is FNV-64a finalized by a splitmix64 mix. The finalizer matters:
+// raw FNV of "node#0" … "node#63" differs only in its low-order bytes, which
+// leaves every node's virtual nodes in one tight cluster on the ring —
+// virtual nodes without the spread they exist for (observed: an 84/13/3%
+// split across three nodes). The mixer avalanches those near-collisions
+// across the full 64-bit ring.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return splitmix64(h.Sum64())
+}
+
+// Add places node's virtual nodes on the ring (no-op when already present).
+func (r *Ring) Add(node string) {
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{hash: ringHash(node + "#" + strconv.Itoa(i)), node: node})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+}
+
+// Remove deletes node's virtual nodes. Keys owned by the node move to the
+// next distinct node clockwise — the deterministic replica handoff — and
+// every other key keeps its owner.
+func (r *Ring) Remove(node string) {
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Len reports the member count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Nodes returns the members in sorted order.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sequence returns the first n distinct nodes clockwise from key's hash:
+// Sequence(key, n)[0] is the key's owner and [1:] its replica handoff order.
+// n is clamped to the member count. The sequence is the coordinator's
+// re-dispatch chain: attempt i of a shard goes to Sequence(key, …)[i mod
+// live members], so ownership and failover are deterministic for a given
+// membership view.
+func (r *Ring) Sequence(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.node] {
+			continue
+		}
+		seen[p.node] = true
+		out = append(out, p.node)
+	}
+	return out
+}

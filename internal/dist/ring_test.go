@@ -1,0 +1,105 @@
+package dist
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// The ring's whole value is determinism: identical membership must produce
+// identical placement on every process, or coordinator and journal disagree
+// about who owned what.
+func TestRingDeterministicPlacement(t *testing.T) {
+	build := func() *Ring {
+		r := NewRing(0)
+		// Insertion order must not matter.
+		for _, n := range []string{"c:3", "a:1", "b:2"} {
+			r.Add(n)
+		}
+		return r
+	}
+	r1, r2 := build(), build()
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("shard/%d", i)
+		s1, s2 := r1.Sequence(key, 3), r2.Sequence(key, 3)
+		if !reflect.DeepEqual(s1, s2) {
+			t.Fatalf("key %q: sequences differ: %v vs %v", key, s1, s2)
+		}
+		if len(s1) != 3 {
+			t.Fatalf("key %q: want 3 distinct nodes, got %v", key, s1)
+		}
+		seen := map[string]bool{}
+		for _, n := range s1 {
+			if seen[n] {
+				t.Fatalf("key %q: duplicate node in sequence %v", key, s1)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+// Removing a node must move ONLY the keys it owned, each to its old
+// second-in-sequence — the deterministic replica handoff.
+func TestRingHandoffMinimalDisruption(t *testing.T) {
+	nodes := []string{"a:1", "b:2", "c:3", "d:4"}
+	r := NewRing(0)
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	type placement struct{ owner, next string }
+	before := map[string]placement{}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("shard/%d", i)
+		seq := r.Sequence(key, 2)
+		before[key] = placement{owner: seq[0], next: seq[1]}
+	}
+	const victim = "c:3"
+	r.Remove(victim)
+	moved := 0
+	for key, p := range before {
+		owner := r.Sequence(key, 1)[0]
+		if p.owner != victim {
+			if owner != p.owner {
+				t.Fatalf("key %q: owner changed %s → %s though %s left", key, p.owner, owner, victim)
+			}
+			continue
+		}
+		moved++
+		if owner != p.next {
+			t.Fatalf("key %q: want handoff to old replica %s, got %s", key, p.next, owner)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("victim owned no keys; test vacuous")
+	}
+}
+
+// With virtual nodes, placement should be roughly balanced.
+func TestRingBalance(t *testing.T) {
+	r := NewRing(0)
+	workers := []string{"a:1", "b:2", "c:3"}
+	for _, n := range workers {
+		r.Add(n)
+	}
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.Sequence(fmt.Sprintf("shard/%d", i), 1)[0]]++
+	}
+	for _, n := range workers {
+		if frac := float64(counts[n]) / keys; frac < 0.15 || frac > 0.55 {
+			t.Errorf("node %s owns %.0f%% of keys; want a rough third", n, 100*frac)
+		}
+	}
+}
+
+func TestRingSequenceClamps(t *testing.T) {
+	r := NewRing(4)
+	if got := r.Sequence("x", 2); got != nil {
+		t.Fatalf("empty ring: want nil, got %v", got)
+	}
+	r.Add("only:1")
+	if got := r.Sequence("x", 5); len(got) != 1 || got[0] != "only:1" {
+		t.Fatalf("want [only:1], got %v", got)
+	}
+}

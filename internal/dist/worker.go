@@ -1,0 +1,275 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"log"
+	"net"
+	"net/http"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+
+	"ksettop/internal/cli"
+	"ksettop/internal/faultinject"
+	"ksettop/internal/model"
+)
+
+// WorkerConfig tunes one Worker. Zero values select the defaults.
+type WorkerConfig struct {
+	// MaxConcurrent caps shard executions computing at once; excess load is
+	// shed with 503 so the coordinator re-dispatches elsewhere. Default 8.
+	MaxConcurrent int
+	// MaxLease caps any granted lease duration. Default 1m.
+	MaxLease time.Duration
+	// Logf receives operational log lines. Default log.Printf.
+	Logf func(format string, args ...any)
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 8
+	}
+	if c.MaxLease <= 0 {
+		c.MaxLease = time.Minute
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// WorkerStats is the /statz counter snapshot of one worker.
+type WorkerStats struct {
+	Execs         uint64 `json:"execs"`          // shard executions completed successfully
+	ExecErrors    uint64 `json:"exec_errors"`    // shard executions that failed (injected faults included)
+	Panics        uint64 `json:"panics"`         // recovered handler panics
+	Overloaded    uint64 `json:"overloaded"`     // shed at admission (503)
+	Heartbeats    uint64 `json:"heartbeats"`     // heartbeat probes answered
+	InFlight      int64  `json:"in_flight"`      // shards computing now
+	UptimeSeconds int64  `json:"uptime_seconds"`
+}
+
+// Worker is one sweep worker process: it executes rank-shard ops on behalf
+// of a coordinator, under the lease deadline the grant carries, and answers
+// the heartbeat probes the coordinator's failure detector sends.
+type Worker struct {
+	cfg   WorkerConfig
+	mux   *http.ServeMux
+	sem   chan struct{}
+	start time.Time
+
+	boundAddr atomic.Pointer[string]
+
+	execs      atomic.Uint64
+	execErrors atomic.Uint64
+	panics     atomic.Uint64
+	overloaded atomic.Uint64
+	heartbeats atomic.Uint64
+	inFlight   atomic.Int64
+}
+
+// NewWorker builds a Worker from cfg (zero value: all defaults).
+func NewWorker(cfg WorkerConfig) *Worker {
+	cfg = cfg.withDefaults()
+	w := &Worker{
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		start: time.Now(),
+	}
+	w.mux.HandleFunc("/dist/v1/exec", w.handleExec)
+	w.mux.HandleFunc("/dist/v1/heartbeat", w.handleHeartbeat)
+	w.mux.HandleFunc("/healthz", w.handleHealthz)
+	w.mux.HandleFunc("/readyz", w.handleHealthz) // no warm boot: ready ⇔ live
+	w.mux.HandleFunc("/statz", w.handleStatz)
+	return w
+}
+
+// Handler returns the worker's HTTP handler (for tests and embedding).
+func (w *Worker) Handler() http.Handler { return w.mux }
+
+// Stats returns the current counters.
+func (w *Worker) Stats() WorkerStats {
+	return WorkerStats{
+		Execs:         w.execs.Load(),
+		ExecErrors:    w.execErrors.Load(),
+		Panics:        w.panics.Load(),
+		Overloaded:    w.overloaded.Load(),
+		Heartbeats:    w.heartbeats.Load(),
+		InFlight:      w.inFlight.Load(),
+		UptimeSeconds: int64(time.Since(w.start) / time.Second),
+	}
+}
+
+// ExecRequest is one shard grant: op + model + rank range + lease.
+type ExecRequest struct {
+	Op      string `json:"op"`
+	Model   string `json:"model"`
+	Shard   int    `json:"shard"`
+	From    int64  `json:"from"`
+	To      int64  `json:"to"`
+	LeaseMs int64  `json:"lease_ms"`
+}
+
+// ExecResponse carries one computed shard payload. CRC is the IEEE CRC32 of
+// Payload computed BEFORE the response leaves the worker, so any corruption
+// between computation and the coordinator's checksum — injected, network,
+// or a lying worker — is detected and the shard re-dispatched.
+type ExecResponse struct {
+	Payload []byte `json:"payload"`
+	CRC     uint32 `json:"crc"`
+	Ranks   int64  `json:"ranks"`
+}
+
+type workerError struct {
+	Kind    string `json:"kind"` // bad_request, overloaded, budget, deadline, internal
+	Message string `json:"message"`
+}
+
+func writeWorkerJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeWorkerError(w http.ResponseWriter, status int, kind, msg string) {
+	writeWorkerJSON(w, status, map[string]workerError{"error": {Kind: kind, Message: msg}})
+}
+
+func (w *Worker) handleExec(rw http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			w.panics.Add(1)
+			w.execErrors.Add(1)
+			w.cfg.Logf("dist: worker recovered exec panic: %v\n%s", rec, debug.Stack())
+			writeWorkerError(rw, http.StatusInternalServerError, "internal", fmt.Sprintf("panic: %v", rec))
+		}
+	}()
+	if r.Method != http.MethodPost {
+		writeWorkerError(rw, http.StatusMethodNotAllowed, "bad_request", "POST only")
+		return
+	}
+	select {
+	case w.sem <- struct{}{}:
+		defer func() { <-w.sem }()
+	default:
+		w.overloaded.Add(1)
+		writeWorkerError(rw, http.StatusServiceUnavailable, "overloaded", "concurrency limit reached")
+		return
+	}
+	w.inFlight.Add(1)
+	defer w.inFlight.Add(-1)
+
+	var req ExecRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeWorkerError(rw, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	// The fault hook models a crashed (panic), failing (error) or straggling
+	// (delay) worker while the grant holds its admission slot.
+	if err := faultinject.Hit(faultinject.PointDistExec); err != nil {
+		w.execErrors.Add(1)
+		writeWorkerError(rw, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	op, ok := LookupOp(req.Op)
+	if !ok {
+		writeWorkerError(rw, http.StatusBadRequest, "bad_request", fmt.Sprintf("unknown op %q", req.Op))
+		return
+	}
+	m, err := cli.ParseModel(req.Model)
+	if err != nil {
+		writeWorkerError(rw, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	lease := w.cfg.MaxLease
+	if req.LeaseMs > 0 {
+		if d := time.Duration(req.LeaseMs) * time.Millisecond; d < lease {
+			lease = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), lease)
+	defer cancel()
+
+	payload, err := op.Run(ctx, m, req.From, req.To)
+	if err != nil {
+		w.execErrors.Add(1)
+		switch {
+		case errors.Is(err, model.ErrEnumerationBudget):
+			writeWorkerError(rw, http.StatusUnprocessableEntity, "budget", err.Error())
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			writeWorkerError(rw, http.StatusGatewayTimeout, "deadline", err.Error())
+		default:
+			writeWorkerError(rw, http.StatusInternalServerError, "internal", err.Error())
+		}
+		return
+	}
+	resp := ExecResponse{CRC: crc32.ChecksumIEEE(payload), Ranks: req.To - req.From}
+	// Corruption is injected AFTER checksumming: a lying worker's bytes do
+	// not match its own checksum, which is exactly what the coordinator's
+	// verification path must catch.
+	faultinject.Corrupt(faultinject.PointDistResult, payload)
+	resp.Payload = payload
+	w.execs.Add(1)
+	writeWorkerJSON(rw, http.StatusOK, resp)
+}
+
+func (w *Worker) handleHeartbeat(rw http.ResponseWriter, r *http.Request) {
+	// An injected heartbeat fault models a network partition: the worker is
+	// healthy but the coordinator's failure detector cannot see it.
+	if err := faultinject.Hit(faultinject.PointDistHeartbeat); err != nil {
+		writeWorkerError(rw, http.StatusServiceUnavailable, "internal", err.Error())
+		return
+	}
+	w.heartbeats.Add(1)
+	writeWorkerJSON(rw, http.StatusOK, map[string]any{"ok": true, "in_flight": w.inFlight.Load()})
+}
+
+func (w *Worker) handleHealthz(rw http.ResponseWriter, r *http.Request) {
+	writeWorkerJSON(rw, http.StatusOK, map[string]any{"ok": true, "uptime_seconds": int64(time.Since(w.start) / time.Second)})
+}
+
+func (w *Worker) handleStatz(rw http.ResponseWriter, r *http.Request) {
+	writeWorkerJSON(rw, http.StatusOK, w.Stats())
+}
+
+// Addr returns the bound listen address once Run has opened its listener.
+func (w *Worker) Addr() string {
+	if v := w.boundAddr.Load(); v != nil {
+		return *v
+	}
+	return ""
+}
+
+// Run serves on addr until ctx is cancelled, then drains gracefully:
+// in-flight shard executions get drainGrace to finish (their coordinators
+// re-dispatch anything cut off).
+func (w *Worker) Run(ctx context.Context, addr string, drainGrace time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	w.boundAddr.Store(&bound)
+	w.cfg.Logf("dist: worker listening on %s", bound)
+	srv := &http.Server{Handler: w.Handler()}
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		w.cfg.Logf("dist: worker draining (grace %s)", drainGrace)
+		sctx, cancel := context.WithTimeout(context.Background(), drainGrace)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(sctx)
+	}()
+
+	err = srv.Serve(ln)
+	if !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return <-shutdownErr
+}

@@ -34,6 +34,15 @@ const (
 	PointSolverTask   = "solver.task"   // before a solver subtree task runs
 	PointSnapshotLoad = "memo.snapshot" // snapshot byte stream on load
 	PointServeRequest = "serve.request" // before a service request is handled
+
+	// Distributed sweep tier (internal/dist) injection sites. Worker-side
+	// rules model crashed, stalled or lying workers; coordinator-side rules
+	// model a coordinator killed mid-sweep and a journal rotting on disk.
+	PointDistExec      = "dist.exec"      // worker: before a shard executes (error = shard failure, panic = worker crash, delay = straggler)
+	PointDistResult    = "dist.result"    // worker: result payload AFTER checksumming (corrupt = lying worker, caught by CRC)
+	PointDistHeartbeat = "dist.heartbeat" // worker: heartbeat handler (error = network partition from the coordinator)
+	PointDistCommit    = "dist.commit"    // coordinator: before a shard commit is journaled (error = coordinator killed at that commit point)
+	PointDistJournal   = "dist.journal"   // coordinator: journal byte stream on warm-restart load
 )
 
 // Action is what a rule does when it fires.

@@ -1,0 +1,46 @@
+package model
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Distributor is the hook the distributed sweep tier (internal/dist)
+// installs so that heavy closure sweeps can fan out across worker processes
+// instead of the in-process pool. The model package stays transport-free:
+// it only defines the contract and consults the installed distributor at
+// the sweep entry points.
+//
+// Implementations report handled=false to decline a sweep (no live workers,
+// rank space below the distribution threshold, unsupported op); the caller
+// then falls back to the local engine. A distributor MUST preserve the
+// engines' determinism contract: a handled sweep returns exactly what the
+// local engine would have returned.
+type Distributor interface {
+	// CountClosure returns the closure size of m (|⋃ ↑G_i|), or
+	// handled=false to fall back to the in-process sharded count.
+	CountClosure(ctx context.Context, m *ClosedAbove) (count int64, handled bool, err error)
+}
+
+var distributor atomic.Pointer[distributorCell]
+
+type distributorCell struct{ d Distributor }
+
+// SetDistributor installs d as the process-wide sweep distributor (nil
+// uninstalls). Safe for concurrent use; typically called once at CLI
+// startup when -workers is given.
+func SetDistributor(d Distributor) {
+	if d == nil {
+		distributor.Store(nil)
+		return
+	}
+	distributor.Store(&distributorCell{d})
+}
+
+// CurrentDistributor returns the installed distributor, or nil.
+func CurrentDistributor() Distributor {
+	if c := distributor.Load(); c != nil {
+		return c.d
+	}
+	return nil
+}

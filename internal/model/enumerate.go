@@ -358,8 +358,17 @@ func (m *ClosedAbove) GraphCount() (int, error) {
 
 // GraphCountCtx is GraphCount bound to a context; a cancelled count returns
 // the cause (and is not cached — a later uncancelled call recomputes).
+// When a Distributor is installed (see SetDistributor) the count is offered
+// to it first; a declined sweep falls back to the in-process pool, and the
+// distributor's determinism contract keeps the cached value identical
+// either way.
 func (m *ClosedAbove) GraphCountCtx(ctx context.Context) (int, error) {
 	v, err := countCache.Do(setKey("count", m.gens), func() (int, error) {
+		if d := CurrentDistributor(); d != nil {
+			if count, handled, err := d.CountClosure(ctx, m); handled {
+				return int(count), err
+			}
+		}
 		e, err := m.Enumeration()
 		if err != nil {
 			return 0, err

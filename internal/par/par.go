@@ -224,6 +224,32 @@ func runShard(ctl *Ctl, shard int, from, to int64, scan func(shard int, from, to
 	scan(shard, from, to, ctl)
 }
 
+// ShardBounds returns the rank range [from, to) of shard s when [0, total)
+// is split into shards contiguous pieces the way ForEachShardN splits it:
+// the first total%shards shards get one extra rank. Exported so that other
+// tiers (the distributed sweep coordinator) can partition a rank space
+// byte-identically to the in-process pool without re-deriving the balance
+// rule. The computation avoids s*total products, which overflow int64 for
+// rank spaces near C(64,32).
+func ShardBounds(total int64, shards int, s int) (from, to int64) {
+	if total <= 0 || shards <= 0 || s < 0 || s >= shards {
+		return 0, 0
+	}
+	base, rem := total/int64(shards), total%int64(shards)
+	si := int64(s)
+	from = si * base
+	if si < rem {
+		from += si
+	} else {
+		from += rem
+	}
+	to = from + base
+	if si < rem {
+		to++
+	}
+	return from, to
+}
+
 // ForEachShardNCtx is the context-aware core of the shard fan-out: it binds
 // ctx cancellation to ctl, contains worker panics, and returns the sweep's
 // failure cause (nil on clean completion or cause-less early exit).
@@ -248,22 +274,6 @@ func ForEachShardNCtx(ctx context.Context, total int64, shards int, ctl *Ctl, sc
 		}
 		return ctl.Cause()
 	}
-	// Balanced bounds without s*total products, which overflow int64 for
-	// rank spaces near C(64,32): the first rem shards get base+1 ranks.
-	base, rem := total/int64(shards), total%int64(shards)
-	bounds := func(s int64) (int64, int64) {
-		from := s * base
-		if s < rem {
-			from += s
-		} else {
-			from += rem
-		}
-		to := from + base
-		if s < rem {
-			to++
-		}
-		return from, to
-	}
 	workers := Parallelism()
 	if workers > shards {
 		workers = shards
@@ -282,7 +292,7 @@ func ForEachShardNCtx(ctx context.Context, total int64, shards int, ctl *Ctl, sc
 				if ctl.Stopped() {
 					continue // drain remaining shards without scanning
 				}
-				from, to := bounds(s)
+				from, to := ShardBounds(total, shards, int(s))
 				runShard(ctl, int(s), from, to, scan)
 			}
 		}()

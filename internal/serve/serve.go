@@ -34,6 +34,7 @@ import (
 
 	"ksettop/internal/cli"
 	"ksettop/internal/core"
+	"ksettop/internal/dist"
 	"ksettop/internal/faultinject"
 	"ksettop/internal/memo"
 	"ksettop/internal/model"
@@ -60,6 +61,10 @@ type Config struct {
 	// CheckpointEvery is the background checkpoint period. Default 1m;
 	// checkpointing is off when SnapshotPath is empty.
 	CheckpointEvery time.Duration
+	// Coordinator, when set, puts the service in coordinator mode: heavy
+	// closure counts distribute across its worker fleet, its counters merge
+	// into /statz, and /readyz additionally requires ≥ 1 live worker.
+	Coordinator *dist.Coordinator
 	// Logf receives operational log lines. Default log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -98,6 +103,9 @@ type Stats struct {
 	Timeouts      uint64 `json:"timeouts"`       // request deadlines expired (504)
 	Checkpoints   uint64 `json:"checkpoints"`    // background snapshot saves
 	UptimeSeconds int64  `json:"uptime_seconds"`
+	// Dist carries the coordinator's ring/lease/retry/hedge counters when
+	// the service runs in coordinator mode.
+	Dist *dist.CoordStats `json:"dist,omitempty"`
 }
 
 // Server is one bound-query service instance.
@@ -109,6 +117,7 @@ type Server struct {
 	start time.Time
 
 	boundAddr atomic.Pointer[string]
+	warmed    atomic.Bool
 
 	requests      atomic.Uint64
 	inFlight      atomic.Int64
@@ -130,10 +139,12 @@ func New(cfg Config) *Server {
 		start: time.Now(),
 	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/statz", s.handleStatz)
 	s.mux.HandleFunc("/v1/solve", s.api(s.handleSolve))
 	s.mux.HandleFunc("/v1/betti", s.api(s.handleBetti))
 	s.mux.HandleFunc("/v1/bounds", s.api(s.handleBounds))
+	s.mux.HandleFunc("/v1/count", s.api(s.handleCount))
 	return s
 }
 
@@ -142,7 +153,13 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Stats returns the current counters.
 func (s *Server) Stats() Stats {
+	var ds *dist.CoordStats
+	if s.cfg.Coordinator != nil {
+		snap := s.cfg.Coordinator.Stats()
+		ds = &snap
+	}
 	return Stats{
+		Dist: ds,
 		Requests:      s.requests.Load(),
 		InFlight:      s.inFlight.Load(),
 		Shared:        s.shared.Load(),
@@ -480,8 +497,73 @@ func (s *Server) handleBounds(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// CountRequest asks for the closure-enumeration size of a model — the sweep
+// the distributed tier shards across workers when the service runs in
+// coordinator mode (the count transparently falls back to the local engine
+// when the fleet is dead or the rank space is tiny).
+type CountRequest struct {
+	Model     string `json:"model"`
+	TimeoutMs int    `json:"timeout_ms,omitempty"`
+}
+
+// CountResponse carries the closure element count.
+type CountResponse struct {
+	Count int64 `json:"count"`
+}
+
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	var req CountRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, apiError{Kind: "bad_request", Message: err.Error()})
+		return
+	}
+	m, err := parseModel(req.Model)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, apiError{Kind: "bad_request", Message: err.Error()})
+		return
+	}
+	key := modelKey("serve.count", m)
+	s.compute(w, r, req.TimeoutMs, key, func(ctx context.Context) (any, error) {
+		// GraphCountCtx consults the installed model.Distributor first, so in
+		// coordinator mode this is the distributed sweep.
+		count, err := m.GraphCountCtx(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return CountResponse{Count: int64(count)}, nil
+	})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "uptime_seconds": int64(time.Since(s.start) / time.Second)})
+}
+
+// handleReadyz is the readiness probe, distinct from /healthz liveness: the
+// process can be alive (healthz 200) but not yet able to serve well —
+// warm boot still loading, or coordinator mode with a dead worker fleet.
+// Load balancers should gate traffic on /readyz and restarts on /healthz.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	reasons := []string{}
+	if !s.warmed.Load() {
+		reasons = append(reasons, "warm boot in progress")
+	}
+	live := -1
+	if s.cfg.Coordinator != nil {
+		live = s.cfg.Coordinator.LiveWorkers()
+		if live == 0 {
+			reasons = append(reasons, "coordinator has no live workers")
+		}
+	}
+	body := map[string]any{"ready": len(reasons) == 0}
+	if live >= 0 {
+		body["live_workers"] = live
+	}
+	if len(reasons) > 0 {
+		body["reasons"] = reasons
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
@@ -492,6 +574,9 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 // (detected by the PR-6 checksums) warn and start cold — a torn write from
 // a crashed checkpoint must never prevent startup.
 func (s *Server) WarmBoot() {
+	// Whatever the outcome — warm, cold, or no snapshot configured — the boot
+	// phase is over afterwards, which is what /readyz reports.
+	defer s.warmed.Store(true)
 	if s.cfg.SnapshotPath == "" {
 		return
 	}
@@ -535,6 +620,9 @@ func (s *Server) Addr() string {
 // written. It returns nil on a clean drain.
 func (s *Server) Run(ctx context.Context, addr string, drainGrace time.Duration) error {
 	s.WarmBoot()
+	if s.cfg.Coordinator != nil {
+		s.cfg.Coordinator.Start(ctx)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
