@@ -1,7 +1,7 @@
 GO ?= go
 # Benchmark snapshot index: bump per PR so the perf trajectory accumulates
 # (BENCH_1.json, BENCH_2.json, …).
-BENCH_N ?= 7
+BENCH_N ?= 8
 
 .PHONY: all build test vet race bench benchjson benchcheck chaos experiments clean
 
@@ -18,7 +18,7 @@ vet:
 
 # Race-check the packages that fan work out across goroutines.
 race:
-	$(GO) test -race ./internal/par/ ./internal/graph/ ./internal/combinat/ ./internal/dist/ .
+	$(GO) test -race ./internal/par/ ./internal/graph/ ./internal/combinat/ ./internal/dist/ ./internal/obs/ .
 
 # The chaos suite under the race detector: fault injection, cancellation,
 # budget trips, leak checks, the hardened service and the distributed sweep
@@ -26,10 +26,10 @@ race:
 # kill/restart recovery), each test individually time-boxed so a stuck drain
 # fails fast instead of hanging CI.
 chaos:
-	$(GO) test -race -timeout 10m -run 'Chaos|Fault|Cancel|Leak|Budget|Serve|Flight|Snapshot|Deadline|Dist|Ring|Journal|Race' \
+	$(GO) test -race -timeout 10m -run 'Chaos|Fault|Cancel|Leak|Budget|Serve|Flight|Snapshot|Deadline|Dist|Ring|Journal|Race|Obs|Trace|Metrics|Log' \
 		./internal/faultinject/ ./internal/par/ ./internal/protocol/ \
 		./internal/model/ ./internal/homology/ ./internal/memo/ \
-		./internal/cli/ ./internal/serve/ ./internal/dist/
+		./internal/cli/ ./internal/serve/ ./internal/dist/ ./internal/obs/
 
 # Smoke-run every benchmark once (also re-validates the E1–E17 tables).
 bench:

@@ -17,6 +17,7 @@ import (
 	"ksettop/internal/graph"
 	"ksettop/internal/memo"
 	"ksettop/internal/model"
+	"ksettop/internal/obs"
 	"ksettop/internal/protocol"
 	"ksettop/internal/topology"
 )
@@ -443,6 +444,29 @@ func BenchmarkSolveOneRoundClosure(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := protocol.SolveOneRound(all, 4, 3, 50_000_000)
+		if err != nil || res.Solvable {
+			b.Fatalf("solvable=%v err=%v, want impossibility", res.Solvable, err)
+		}
+	}
+}
+
+// BenchmarkObsOverhead mirrors BenchmarkSolveOneRoundClosure with the
+// observability layer's gated paths switched off; the pair bounds the cost
+// of the default-on instrumentation on the hot solve path (budget ≲ 1%).
+func BenchmarkObsOverhead(b *testing.B) {
+	m, err := model.NonEmptyKernelModel(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	all, err := m.AllGraphs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs.SetEnabled(false)
+	defer obs.SetEnabled(true)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := protocol.SolveOneRound(all, 4, 3, 50_000_000)

@@ -48,6 +48,7 @@ import (
 	"ksettop/internal/graph"
 	"ksettop/internal/memo"
 	"ksettop/internal/model"
+	"ksettop/internal/obs"
 	"ksettop/internal/par"
 	"ksettop/internal/protocol"
 	"ksettop/internal/serve"
@@ -89,7 +90,19 @@ func run() error {
 	searchFlag := flag.String("search", "parallel", cli.SearchFlagUsage)
 	solverBudget := flag.Int("solver-budget", 0, cli.SolverBudgetFlagUsage)
 	clauseBudget := flag.Int("clause-budget", 0, cli.ClauseBudgetFlagUsage)
+	logLevel := flag.String("log-level", "info", cli.LogLevelFlagUsage)
+	traceOut := flag.String("trace-out", "", cli.TraceOutFlagUsage)
 	flag.Parse()
+	obs.SetProcessName("ksetbench")
+	if err := cli.ApplyLogLevelFlag(*logLevel); err != nil {
+		return err
+	}
+	flushTrace := cli.StartTraceOut(*traceOut)
+	defer func() {
+		if err := flushTrace(); err != nil {
+			fmt.Fprintln(os.Stderr, "ksetbench: trace-out:", err)
+		}
+	}()
 	par.SetParallelism(*parallelism)
 	if err := cli.ApplyMemoFlag(*memoFlag); err != nil {
 		return err
@@ -538,6 +551,31 @@ func benches() []bench {
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := protocol.SolveOneRound(all, 4, 3, protocol.DefaultNodeBudget())
+				if err != nil || res.Solvable {
+					b.Fatalf("solvable=%v err=%v, want impossibility", res.Solvable, err)
+				}
+			}
+		}},
+		{"ObsOverhead", func(b *testing.B) {
+			// The SolveOneRoundClosure body with the observability layer's
+			// gated paths (histogram timing; tracing is off by default)
+			// switched off. Comparing this row against SolveOneRoundClosure,
+			// which runs with the default-on instrumentation, bounds what
+			// observability costs on the hot solve path — the acceptance
+			// budget is ≲ 1%.
+			m, err := model.NonEmptyKernelModel(4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			all, err := m.AllGraphs()
+			if err != nil {
+				b.Fatal(err)
+			}
+			obs.SetEnabled(false)
+			defer obs.SetEnabled(true)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := protocol.SolveOneRound(all, 4, 3, protocol.DefaultNodeBudget())

@@ -15,11 +15,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"os"
 
 	"ksettop/internal/cli"
 	"ksettop/internal/core"
 	"ksettop/internal/dist"
 	"ksettop/internal/model"
+	"ksettop/internal/obs"
 	"ksettop/internal/par"
 	"ksettop/internal/protocol"
 )
@@ -41,7 +43,19 @@ func run() error {
 	clauseBudget := flag.Int("clause-budget", 0, cli.ClauseBudgetFlagUsage)
 	memoSnapshot := flag.String("memo-snapshot", "", cli.MemoSnapshotUsage)
 	workers := flag.String("workers", "", cli.WorkersFlagUsage)
+	logLevel := flag.String("log-level", "info", cli.LogLevelFlagUsage)
+	traceOut := flag.String("trace-out", "", cli.TraceOutFlagUsage)
 	flag.Parse()
+	obs.SetProcessName("ksetbounds")
+	if err := cli.ApplyLogLevelFlag(*logLevel); err != nil {
+		return err
+	}
+	flushTrace := cli.StartTraceOut(*traceOut)
+	defer func() {
+		if err := flushTrace(); err != nil {
+			fmt.Fprintln(os.Stderr, "ksetbounds: trace-out:", err)
+		}
+	}()
 	par.SetParallelism(*parallelism)
 	if list := cli.SplitWorkers(*workers); len(list) > 0 {
 		coord := dist.NewCoordinator(dist.CoordConfig{Workers: list})

@@ -18,6 +18,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"ksettop/internal/dist"
 	"ksettop/internal/experiments"
 	"ksettop/internal/model"
+	"ksettop/internal/obs"
 	"ksettop/internal/par"
 )
 
@@ -44,7 +46,19 @@ func run() error {
 	solverBudget := flag.Int("solver-budget", 0, cli.SolverBudgetFlagUsage)
 	clauseBudget := flag.Int("clause-budget", 0, cli.ClauseBudgetFlagUsage)
 	workers := flag.String("workers", "", cli.WorkersFlagUsage)
+	logLevel := flag.String("log-level", "info", cli.LogLevelFlagUsage)
+	traceOut := flag.String("trace-out", "", cli.TraceOutFlagUsage)
 	flag.Parse()
+	obs.SetProcessName("ksetexperiments")
+	if err := cli.ApplyLogLevelFlag(*logLevel); err != nil {
+		return err
+	}
+	flushTrace := cli.StartTraceOut(*traceOut)
+	defer func() {
+		if err := flushTrace(); err != nil {
+			fmt.Fprintln(os.Stderr, "ksetexperiments: trace-out:", err)
+		}
+	}()
 	par.SetParallelism(*parallelism)
 	if list := cli.SplitWorkers(*workers); len(list) > 0 {
 		coord := dist.NewCoordinator(dist.CoordConfig{Workers: list})

@@ -17,6 +17,8 @@
 //	GET  /healthz    liveness
 //	GET  /readyz     readiness: warm boot finished, and in coordinator mode ≥1 live worker
 //	GET  /statz      request/panic/shed/timeout counters (+ dist counters in coordinator mode)
+//	GET  /metrics    Prometheus text exposition (engine + server + coordinator counters)
+//	GET  /debug/pprof/  runtime profiles (only with -pprof)
 //
 // With -workers host:port,... the daemon runs in coordinator mode: heavy
 // closure-count sweeps are sharded across the named ksetsweepd workers
@@ -48,6 +50,7 @@ import (
 	"ksettop/internal/dist"
 	"ksettop/internal/faultinject"
 	"ksettop/internal/model"
+	"ksettop/internal/obs"
 	"ksettop/internal/par"
 	"ksettop/internal/serve"
 )
@@ -77,8 +80,16 @@ func run() error {
 	distShards := flag.Int("dist-shards", 0, "shards per distributed sweep (0 = 8 × workers)")
 	distLease := flag.Duration("dist-lease", 15*time.Second, "shard lease TTL before a grant is forfeited and re-dispatched")
 	distJournal := flag.String("dist-journal", "", "shard-commit journal file for coordinator crash recovery (empty = off)")
+	logLevel := flag.String("log-level", "info", cli.LogLevelFlagUsage)
+	traceOut := flag.String("trace-out", "", cli.TraceOutFlagUsage)
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
+	obs.SetProcessName("ksetserved")
+	if err := cli.ApplyLogLevelFlag(*logLevel); err != nil {
+		return err
+	}
+	flushTrace := cli.StartTraceOut(*traceOut)
 	par.SetParallelism(*parallelism)
 	if err := cli.ApplyMemoFlag(*memoFlag); err != nil {
 		return err
@@ -117,9 +128,14 @@ func run() error {
 		SnapshotPath:    *memoSnapshot,
 		CheckpointEvery: *checkpointEvery,
 		Coordinator:     coord,
+		EnablePprof:     *pprofFlag,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	return s.Run(ctx, *addr, *drainGrace)
+	err := s.Run(ctx, *addr, *drainGrace)
+	if terr := flushTrace(); terr != nil && err == nil {
+		err = terr
+	}
+	return err
 }

@@ -17,8 +17,10 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"os"
 
 	"ksettop/internal/cli"
+	"ksettop/internal/obs"
 	"ksettop/internal/par"
 	"ksettop/internal/protocol"
 )
@@ -39,7 +41,19 @@ func run() error {
 	parallelism := flag.Int("parallelism", 0, "worker-pool size (0 = KSETTOP_PARALLELISM or GOMAXPROCS)")
 	memoFlag := flag.String("memo", "on", cli.MemoFlagUsage)
 	memoSnapshot := flag.String("memo-snapshot", "", cli.MemoSnapshotUsage)
+	logLevel := flag.String("log-level", "info", cli.LogLevelFlagUsage)
+	traceOut := flag.String("trace-out", "", cli.TraceOutFlagUsage)
 	flag.Parse()
+	obs.SetProcessName("ksetsim")
+	if err := cli.ApplyLogLevelFlag(*logLevel); err != nil {
+		return err
+	}
+	flushTrace := cli.StartTraceOut(*traceOut)
+	defer func() {
+		if err := flushTrace(); err != nil {
+			fmt.Fprintln(os.Stderr, "ksetsim: trace-out:", err)
+		}
+	}()
 	par.SetParallelism(*parallelism)
 	if err := cli.ApplyMemoFlag(*memoFlag); err != nil {
 		return err

@@ -14,6 +14,8 @@
 //	GET  /dist/v1/heartbeat  failure-detector probe
 //	GET  /healthz, /readyz   liveness (a worker has no warm boot: ready ⇔ live)
 //	GET  /statz              exec/error/shed/heartbeat counters
+//	GET  /metrics            Prometheus text exposition (engine + worker counters)
+//	GET  /debug/pprof/       runtime profiles (only with -pprof)
 //
 // Every shard response is CRC-checksummed before it leaves the worker, so the
 // coordinator detects corruption and re-dispatches; a worker that dies simply
@@ -33,6 +35,7 @@ import (
 	"ksettop/internal/cli"
 	"ksettop/internal/dist"
 	"ksettop/internal/faultinject"
+	"ksettop/internal/obs"
 	"ksettop/internal/par"
 )
 
@@ -51,8 +54,16 @@ func run() error {
 	drainGrace := flag.Duration("drain-grace", 15*time.Second, "shutdown grace for in-flight shard executions")
 	faults := flag.String("faults", "", "deterministic fault-injection rules, e.g. 'panic:dist.exec@3,corrupt:dist.result@2' (empty = off)")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for the fault-injection schedule")
+	logLevel := flag.String("log-level", "info", cli.LogLevelFlagUsage)
+	traceOut := flag.String("trace-out", "", cli.TraceOutFlagUsage)
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
+	obs.SetProcessName("ksetsweepd")
+	if err := cli.ApplyLogLevelFlag(*logLevel); err != nil {
+		return err
+	}
+	flushTrace := cli.StartTraceOut(*traceOut)
 	par.SetParallelism(*parallelism)
 	if err := cli.ApplyMemoFlag(*memoFlag); err != nil {
 		return err
@@ -69,9 +80,14 @@ func run() error {
 	w := dist.NewWorker(dist.WorkerConfig{
 		MaxConcurrent: *maxConcurrent,
 		MaxLease:      *maxLease,
+		EnablePprof:   *pprofFlag,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	return w.Run(ctx, *addr, *drainGrace)
+	err := w.Run(ctx, *addr, *drainGrace)
+	if terr := flushTrace(); terr != nil && err == nil {
+		err = terr
+	}
+	return err
 }

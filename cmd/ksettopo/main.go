@@ -17,6 +17,7 @@ import (
 
 	"ksettop/internal/cli"
 	"ksettop/internal/model"
+	"ksettop/internal/obs"
 	"ksettop/internal/par"
 	"ksettop/internal/topology"
 )
@@ -37,7 +38,14 @@ func run() error {
 	memoSnapshot := flag.String("memo-snapshot", "", cli.MemoSnapshotUsage)
 	solverBudget := flag.Int("solver-budget", 0, cli.SolverBudgetFlagUsage)
 	clauseBudget := flag.Int("clause-budget", 0, cli.ClauseBudgetFlagUsage)
+	logLevel := flag.String("log-level", "info", cli.LogLevelFlagUsage)
+	traceOut := flag.String("trace-out", "", cli.TraceOutFlagUsage)
 	flag.Parse()
+	obs.SetProcessName("ksettopo")
+	if err := cli.ApplyLogLevelFlag(*logLevel); err != nil {
+		return err
+	}
+	flushTrace := cli.StartTraceOut(*traceOut)
 	par.SetParallelism(*parallelism)
 	if err := cli.ApplyMemoFlag(*memoFlag); err != nil {
 		return err
@@ -69,6 +77,9 @@ func run() error {
 		return err
 	}
 	if err := reportProtocol(m, *values, dim); err != nil {
+		return err
+	}
+	if err := flushTrace(); err != nil {
 		return err
 	}
 	return cli.SaveMemoSnapshot(*memoSnapshot)

@@ -8,9 +8,39 @@ import (
 
 	"ksettop/internal/memo"
 	"ksettop/internal/model"
+	"ksettop/internal/obs"
 	"ksettop/internal/protocol"
 	"ksettop/internal/topology"
 )
+
+// LogLevelFlagUsage is the shared help text of the -log-level flag.
+const LogLevelFlagUsage = "minimum structured-log level: debug | info | warn | error"
+
+// ApplyLogLevelFlag interprets the shared -log-level flag value and sets the
+// process-wide default logger's threshold.
+func ApplyLogLevelFlag(value string) error {
+	lvl, err := obs.ParseLevel(value)
+	if err != nil {
+		return fmt.Errorf("cli: -log-level: %w", err)
+	}
+	obs.SetLevel(lvl)
+	return nil
+}
+
+// TraceOutFlagUsage is the shared help text of the -trace-out flag.
+const TraceOutFlagUsage = "write a Chrome trace_event JSON file of the run's spans to this path on exit; tracing is armed for the run (empty = off)"
+
+// StartTraceOut arms span tracing when path is non-empty and returns the
+// flush function to run on exit, which writes the recorded spans as Chrome
+// trace_event JSON (load via chrome://tracing or https://ui.perfetto.dev).
+// With an empty path tracing stays off and the flush is a no-op.
+func StartTraceOut(path string) func() error {
+	if path == "" {
+		return func() error { return nil }
+	}
+	obs.SetTracingEnabled(true)
+	return func() error { return obs.WriteChromeTraceFile(path) }
+}
 
 // EngineFlagUsage is the shared help text of the -engine flag.
 const EngineFlagUsage = "homology engine: hybrid (apparent pairs + bit-packed hybrid columns) | sparse (pure-sparse cross-check) | packed (seed bit-packed oracle)"

@@ -1,6 +1,8 @@
 package cli
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -9,6 +11,7 @@ import (
 	"ksettop/internal/graph"
 	"ksettop/internal/memo"
 	"ksettop/internal/model"
+	"ksettop/internal/obs"
 	"ksettop/internal/protocol"
 	"ksettop/internal/topology"
 )
@@ -175,5 +178,56 @@ func TestApplySolverBudgetFlag(t *testing.T) {
 	}
 	if err := ApplySolverBudgetFlag(-1); err == nil {
 		t.Error("negative budget should be rejected")
+	}
+}
+
+func TestApplyLogLevelFlag(t *testing.T) {
+	defer obs.SetLevel(obs.LevelInfo)
+	for _, v := range []string{"debug", "INFO", "warn", "warning", "Error"} {
+		if err := ApplyLogLevelFlag(v); err != nil {
+			t.Fatalf("ApplyLogLevelFlag(%q): %v", v, err)
+		}
+	}
+	if err := ApplyLogLevelFlag("verbose"); err == nil {
+		t.Error("unknown level should be rejected")
+	}
+}
+
+func TestStartTraceOut(t *testing.T) {
+	// Empty path: tracing stays off and the flush is a no-op.
+	if err := StartTraceOut("")(); err != nil {
+		t.Fatal(err)
+	}
+	if obs.TracingEnabled() {
+		t.Fatal("empty -trace-out must not arm tracing")
+	}
+
+	obs.ResetTrace(0)
+	defer func() {
+		obs.SetTracingEnabled(false)
+		obs.ResetTrace(0)
+	}()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	flush := StartTraceOut(path)
+	if !obs.TracingEnabled() {
+		t.Fatal("-trace-out must arm tracing")
+	}
+	_, span := obs.StartSpan(context.Background(), "cli.test")
+	span.End()
+	if err := flush(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace file holds no events")
 	}
 }

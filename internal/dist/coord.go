@@ -8,17 +8,16 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"log"
 	"net/http"
 	"sort"
 	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"ksettop/internal/cli"
 	"ksettop/internal/faultinject"
 	"ksettop/internal/model"
+	"ksettop/internal/obs"
 	"ksettop/internal/par"
 )
 
@@ -73,7 +72,12 @@ type CoordConfig struct {
 	// Client is the HTTP client for grants and heartbeats. Default: plain
 	// client (per-request contexts carry the deadlines).
 	Client *http.Client
-	// Logf receives operational log lines. Default log.Printf.
+	// Log receives operational log lines. Default obs.DefaultLogger()
+	// (leveled JSON on stderr).
+	Log *obs.Logger
+	// Logf, when set and Log is nil, receives every log line
+	// pre-formatted — the pre-obs hook, kept so embedders and tests that
+	// silence or capture logs keep working.
 	Logf func(format string, args ...any)
 }
 
@@ -120,8 +124,12 @@ func (c CoordConfig) withDefaults() CoordConfig {
 	if c.Client == nil {
 		c.Client = &http.Client{}
 	}
-	if c.Logf == nil {
-		c.Logf = log.Printf
+	if c.Log == nil {
+		if c.Logf != nil {
+			c.Log = obs.NewFuncLogger(c.Logf)
+		} else {
+			c.Log = obs.DefaultLogger()
+		}
 	}
 	return c
 }
@@ -158,20 +166,58 @@ type Coordinator struct {
 	cfg    CoordConfig
 	ring   *Ring
 	client *http.Client
+	log    *obs.Logger
+	met    coordMetrics
 
 	mu      sync.Mutex
 	live    map[string]bool
 	started bool
 
 	runMu sync.Mutex // one sweep at a time: the journal is per-sweep state
+}
 
-	sweeps, sweepsFailed, shardsCommitted       atomic.Uint64
-	leasesGranted, leaseExpiries, retries       atomic.Uint64
-	hedges, hedgeWins                           atomic.Uint64
-	corruptResponses, duplicateResults          atomic.Uint64
-	crossCheckMismatches                        atomic.Uint64
-	workerDeaths, workerRejoins                 atomic.Uint64
-	journalResumes, journalSkips, budgetTrips   atomic.Uint64
+// coordMetrics is the coordinator's event counters, held in a
+// per-instance obs.Registry so tests can spin up many coordinators
+// in-process without sharing state, /statz snapshots them in one pass,
+// and ksetserved exposes them on /metrics.
+type coordMetrics struct {
+	reg                                          *obs.Registry
+	sweeps, sweepsFailed, shardsCommitted        *obs.Counter
+	leasesGranted, leaseExpiries, retries        *obs.Counter
+	hedges, hedgeWins                            *obs.Counter
+	corruptResponses, duplicateResults           *obs.Counter
+	crossCheckMismatches                         *obs.Counter
+	workerDeaths, workerRejoins                  *obs.Counter
+	journalResumes, journalSkips, budgetTrips    *obs.Counter
+	liveWorkers                                  *obs.Gauge
+}
+
+func newCoordMetrics() coordMetrics {
+	r := obs.NewRegistry()
+	return coordMetrics{
+		reg:             r,
+		sweeps:          r.Counter("kset_dist_coord_sweeps_total", "sweeps completed"),
+		sweepsFailed:    r.Counter("kset_dist_coord_sweeps_failed_total", "sweeps that returned an error"),
+		shardsCommitted: r.Counter("kset_dist_coord_shards_committed_total", "shard results accepted"),
+		leasesGranted:   r.Counter("kset_dist_coord_leases_granted_total", "shard grants dispatched (retries + hedges included)"),
+		leaseExpiries:   r.Counter("kset_dist_coord_lease_expiries_total", "grants that timed out or were revoked"),
+		retries:         r.Counter("kset_dist_coord_retries_total", "failed grants scheduled for re-dispatch"),
+		hedges:          r.Counter("kset_dist_coord_hedges_total", "speculative straggler re-dispatches"),
+		hedgeWins:       r.Counter("kset_dist_coord_hedge_wins_total", "hedged grants that committed first"),
+		corruptResponses: r.Counter("kset_dist_coord_corrupt_responses_total",
+			"payloads failing their checksum"),
+		duplicateResults: r.Counter("kset_dist_coord_duplicate_results_total",
+			"completions for already-committed shards"),
+		crossCheckMismatches: r.Counter("kset_dist_coord_cross_check_mismatches_total",
+			"duplicate results that disagreed byte-wise"),
+		workerDeaths:   r.Counter("kset_dist_coord_worker_deaths_total", "failure-detector death declarations"),
+		workerRejoins:  r.Counter("kset_dist_coord_worker_rejoins_total", "dead workers that came back"),
+		journalResumes: r.Counter("kset_dist_coord_journal_resumes_total", "sweeps warm-restarted from a journal"),
+		journalSkips: r.Counter("kset_dist_coord_journal_skips_total",
+			"shards recovered from the journal (not recomputed)"),
+		budgetTrips: r.Counter("kset_dist_coord_budget_trips_total", "sweeps stopped by the shared budget"),
+		liveWorkers: r.Gauge("kset_dist_coord_live_workers", "workers passing the failure detector"),
+	}
 }
 
 // NewCoordinator builds a Coordinator over cfg.Workers. All workers start
@@ -183,13 +229,25 @@ func NewCoordinator(cfg CoordConfig) *Coordinator {
 		cfg:    cfg,
 		ring:   NewRing(cfg.VNodes),
 		client: cfg.Client,
+		log:    cfg.Log,
+		met:    newCoordMetrics(),
 		live:   make(map[string]bool, len(cfg.Workers)),
 	}
 	for _, w := range cfg.Workers {
 		c.ring.Add(w)
 		c.live[w] = true
 	}
+	c.met.liveWorkers.Set(int64(len(c.live)))
 	return c
+}
+
+// MetricsRegistry exposes the coordinator's per-instance metric
+// registry (ksetserved merges it into /metrics).
+func (c *Coordinator) MetricsRegistry() *obs.Registry {
+	if c == nil {
+		return nil
+	}
+	return c.met.reg
 }
 
 // Start launches one heartbeat monitor per worker; they run until ctx is
@@ -255,12 +313,19 @@ func (c *Coordinator) setLive(worker string, live bool) {
 		return
 	}
 	c.live[worker] = live
+	n := int64(0)
+	for _, ok := range c.live {
+		if ok {
+			n++
+		}
+	}
+	c.met.liveWorkers.Set(n)
 	if live {
-		c.workerRejoins.Add(1)
-		c.cfg.Logf("dist: worker %s rejoined", worker)
+		c.met.workerRejoins.Inc()
+		c.log.Infof("dist: worker %s rejoined", worker)
 	} else {
-		c.workerDeaths.Add(1)
-		c.cfg.Logf("dist: worker %s declared dead (%d missed heartbeats)", worker, c.cfg.HeartbeatMisses)
+		c.met.workerDeaths.Inc()
+		c.log.Warnf("dist: worker %s declared dead (%d missed heartbeats)", worker, c.cfg.HeartbeatMisses)
 	}
 }
 
@@ -283,27 +348,31 @@ func (c *Coordinator) LiveWorkers() int {
 	return n
 }
 
-// Stats returns the current counters.
+// Stats returns the current counters, snapshotted through the registry
+// in a single pass (one lock acquisition) rather than field-by-field
+// loads, so the struct is one coherent point-in-time view.
 func (c *Coordinator) Stats() CoordStats {
+	v := c.met.reg.Values()
+	u := func(name string) uint64 { return uint64(v[name]) }
 	return CoordStats{
 		Workers:              len(c.cfg.Workers),
-		LiveWorkers:          c.LiveWorkers(),
-		Sweeps:               c.sweeps.Load(),
-		SweepsFailed:         c.sweepsFailed.Load(),
-		ShardsCommitted:      c.shardsCommitted.Load(),
-		LeasesGranted:        c.leasesGranted.Load(),
-		LeaseExpiries:        c.leaseExpiries.Load(),
-		Retries:              c.retries.Load(),
-		Hedges:               c.hedges.Load(),
-		HedgeWins:            c.hedgeWins.Load(),
-		CorruptResponses:     c.corruptResponses.Load(),
-		DuplicateResults:     c.duplicateResults.Load(),
-		CrossCheckMismatches: c.crossCheckMismatches.Load(),
-		WorkerDeaths:         c.workerDeaths.Load(),
-		WorkerRejoins:        c.workerRejoins.Load(),
-		JournalResumes:       c.journalResumes.Load(),
-		JournalSkips:         c.journalSkips.Load(),
-		BudgetTrips:          c.budgetTrips.Load(),
+		LiveWorkers:          int(v["kset_dist_coord_live_workers"]),
+		Sweeps:               u("kset_dist_coord_sweeps_total"),
+		SweepsFailed:         u("kset_dist_coord_sweeps_failed_total"),
+		ShardsCommitted:      u("kset_dist_coord_shards_committed_total"),
+		LeasesGranted:        u("kset_dist_coord_leases_granted_total"),
+		LeaseExpiries:        u("kset_dist_coord_lease_expiries_total"),
+		Retries:              u("kset_dist_coord_retries_total"),
+		Hedges:               u("kset_dist_coord_hedges_total"),
+		HedgeWins:            u("kset_dist_coord_hedge_wins_total"),
+		CorruptResponses:     u("kset_dist_coord_corrupt_responses_total"),
+		DuplicateResults:     u("kset_dist_coord_duplicate_results_total"),
+		CrossCheckMismatches: u("kset_dist_coord_cross_check_mismatches_total"),
+		WorkerDeaths:         u("kset_dist_coord_worker_deaths_total"),
+		WorkerRejoins:        u("kset_dist_coord_worker_rejoins_total"),
+		JournalResumes:       u("kset_dist_coord_journal_resumes_total"),
+		JournalSkips:         u("kset_dist_coord_journal_skips_total"),
+		BudgetTrips:          u("kset_dist_coord_budget_trips_total"),
 	}
 }
 
@@ -355,6 +424,7 @@ type completion struct {
 	shard   int
 	g       *grant
 	payload []byte
+	spans   []obs.SpanData // worker-side spans for the traced request
 	err     error
 	elapsed time.Duration
 }
@@ -367,12 +437,17 @@ var errCorruptResponse = errors.New("dist: corrupt shard response (checksum mism
 // job, whatever crashes, expiries, retries or hedges happened on the way.
 // With no workers configured it falls back to the local in-process engine.
 func (c *Coordinator) Run(ctx context.Context, job Job) ([]byte, error) {
+	ctx, span := obs.StartSpan(ctx, "dist.sweep")
+	span.SetAttr("op", job.Op)
+	span.SetAttr("model", job.Model)
+	defer span.End()
 	out, err := c.run(ctx, job)
 	if err != nil {
-		c.sweepsFailed.Add(1)
+		c.met.sweepsFailed.Inc()
+		span.SetAttr("error", err.Error())
 		return nil, err
 	}
-	c.sweeps.Add(1)
+	c.met.sweeps.Inc()
 	return out, nil
 }
 
@@ -415,9 +490,9 @@ func (c *Coordinator) run(ctx context.Context, job Job) ([]byte, error) {
 			return nil, err
 		}
 		if resumed {
-			c.journalResumes.Add(1)
-			c.journalSkips.Add(uint64(len(commits)))
-			c.cfg.Logf("dist: resumed sweep from journal, %d/%d shards already committed", len(commits), shards)
+			c.met.journalResumes.Inc()
+			c.met.journalSkips.Add(uint64(len(commits)))
+			c.log.Infof("dist: resumed sweep from journal, %d/%d shards already committed", len(commits), shards)
 		}
 	}
 	closeJournal := true
@@ -519,7 +594,7 @@ func (c *Coordinator) run(ctx context.Context, job Job) ([]byte, error) {
 			if !ok || target == st.grants[0].worker {
 				continue
 			}
-			c.hedges.Add(1)
+			c.met.hedges.Inc()
 			c.launch(runCtx, job, st, target, true, done)
 		}
 
@@ -539,10 +614,10 @@ func (c *Coordinator) run(ctx context.Context, job Job) ([]byte, error) {
 				// First-committed wins; a duplicate completion (hedge or
 				// retry racing the winner) only cross-checks.
 				if comp.err == nil {
-					c.duplicateResults.Add(1)
+					c.met.duplicateResults.Inc()
 					if !bytes.Equal(comp.payload, st.result) {
-						c.crossCheckMismatches.Add(1)
-						c.cfg.Logf("dist: shard %d: duplicate result from %s DISAGREES with committed result", st.idx, comp.g.worker)
+						c.met.crossCheckMismatches.Inc()
+						c.log.Errorf("dist: shard %d: duplicate result from %s DISAGREES with committed result", st.idx, comp.g.worker)
 					}
 				}
 				continue
@@ -550,12 +625,12 @@ func (c *Coordinator) run(ctx context.Context, job Job) ([]byte, error) {
 			if comp.err != nil {
 				st.lastErr = fmt.Errorf("worker %s: %w", comp.g.worker, comp.err)
 				if errors.Is(comp.err, errCorruptResponse) {
-					c.corruptResponses.Add(1)
+					c.met.corruptResponses.Inc()
 				}
 				if errors.Is(comp.err, context.DeadlineExceeded) || errors.Is(comp.err, context.Canceled) {
-					c.leaseExpiries.Add(1)
+					c.met.leaseExpiries.Inc()
 				}
-				c.retries.Add(1)
+				c.met.retries.Inc()
 				st.nextTry = now.Add(c.backoff(st.idx, st.attempts))
 				continue
 			}
@@ -573,13 +648,14 @@ func (c *Coordinator) run(ctx context.Context, job Job) ([]byte, error) {
 			st.committed = true
 			st.result = comp.payload
 			remaining--
-			c.shardsCommitted.Add(1)
+			c.met.shardsCommitted.Inc()
+			obs.ImportSpans(comp.spans)
 			samples = append(samples, comp.elapsed)
 			if comp.g.hedge {
-				c.hedgeWins.Add(1)
+				c.met.hedgeWins.Inc()
 			}
 			if err := budget.Charge(st.to - st.from); err != nil {
-				c.budgetTrips.Add(1)
+				c.met.budgetTrips.Inc()
 				return fail(err)
 			}
 		}
@@ -596,7 +672,7 @@ func (c *Coordinator) run(ctx context.Context, job Job) ([]byte, error) {
 	if jr != nil {
 		closeJournal = false
 		if err := jr.Remove(); err != nil {
-			c.cfg.Logf("dist: removing completed journal: %v", err)
+			c.log.Warnf("dist: removing completed journal: %v", err)
 		}
 	}
 	return out, nil
@@ -624,11 +700,20 @@ func (c *Coordinator) pickWorker(key string, attempt int) (string, bool) {
 // launch grants shard st to worker: a lease-bounded exec request whose
 // outcome lands on done.
 func (c *Coordinator) launch(runCtx context.Context, job Job, st *shardState, worker string, hedge bool, done chan completion) {
-	gctx, cancel := context.WithTimeout(runCtx, c.cfg.LeaseTTL)
+	// The grant span parents the worker-side spans: its scope rides the
+	// X-Kset-Trace header, and the worker's collected spans come back in
+	// the ExecResponse, stitching one cross-process tree.
+	spanCtx, span := obs.StartSpan(runCtx, "dist.grant")
+	span.SetInt("shard", int64(st.idx))
+	span.SetAttr("worker", worker)
+	if hedge {
+		span.SetAttr("hedge", "true")
+	}
+	gctx, cancel := context.WithTimeout(spanCtx, c.cfg.LeaseTTL)
 	g := &grant{worker: worker, started: time.Now(), cancel: cancel, hedge: hedge}
 	st.grants = append(st.grants, g)
 	st.attempts++
-	c.leasesGranted.Add(1)
+	c.met.leasesGranted.Inc()
 	req := ExecRequest{
 		Op:      job.Op,
 		Model:   job.Model,
@@ -640,8 +725,12 @@ func (c *Coordinator) launch(runCtx context.Context, job Job, st *shardState, wo
 	shard := st.idx
 	go func() {
 		defer cancel()
-		payload, err := c.exec(gctx, worker, req)
-		comp := completion{shard: shard, g: g, payload: payload, err: err, elapsed: time.Since(g.started)}
+		payload, spans, err := c.exec(gctx, worker, req)
+		if err != nil {
+			span.SetAttr("error", err.Error())
+		}
+		span.End()
+		comp := completion{shard: shard, g: g, payload: payload, spans: spans, err: err, elapsed: time.Since(g.started)}
 		select {
 		case done <- comp:
 		case <-runCtx.Done():
@@ -651,41 +740,44 @@ func (c *Coordinator) launch(runCtx context.Context, job Job, st *shardState, wo
 
 // exec performs one grant's HTTP round-trip and verifies the payload
 // checksum.
-func (c *Coordinator) exec(ctx context.Context, worker string, req ExecRequest) ([]byte, error) {
+func (c *Coordinator) exec(ctx context.Context, worker string, req ExecRequest) ([]byte, []obs.SpanData, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+worker+"/dist/v1/exec", bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if h := obs.TraceHeader(ctx); h != "" {
+		hreq.Header.Set(obs.TraceHeaderName, h)
+	}
 	resp, err := c.client.Do(hreq)
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			// Normalize transport-wrapped cancellations so the event loop's
 			// lease-expiry classification sees the context sentinel.
-			return nil, fmt.Errorf("lease: %w", ctxErr)
+			return nil, nil, fmt.Errorf("lease: %w", ctxErr)
 		}
-		return nil, err
+		return nil, nil, err
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, truncate(data, 200))
+		return nil, nil, fmt.Errorf("status %d: %s", resp.StatusCode, truncate(data, 200))
 	}
 	var er ExecResponse
 	if err := json.Unmarshal(data, &er); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if crc32.ChecksumIEEE(er.Payload) != er.CRC {
-		return nil, errCorruptResponse
+		return nil, er.Spans, errCorruptResponse
 	}
-	return er.Payload, nil
+	return er.Payload, er.Spans, nil
 }
 
 func truncate(b []byte, n int) string {
@@ -732,7 +824,7 @@ func (c *Coordinator) CountClosure(ctx context.Context, m *model.ClosedAbove) (i
 		if errors.Is(err, model.ErrEnumerationBudget) {
 			return 0, true, err
 		}
-		c.cfg.Logf("dist: distributed count failed (%v); falling back to local engine", err)
+		c.log.Warnf("dist: distributed count failed (%v); falling back to local engine", err)
 		return 0, false, nil
 	}
 	count, err := DecodeCount(out)

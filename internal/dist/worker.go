@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"log"
 	"net"
 	"net/http"
 	"runtime/debug"
@@ -16,6 +15,7 @@ import (
 	"ksettop/internal/cli"
 	"ksettop/internal/faultinject"
 	"ksettop/internal/model"
+	"ksettop/internal/obs"
 )
 
 // WorkerConfig tunes one Worker. Zero values select the defaults.
@@ -25,7 +25,13 @@ type WorkerConfig struct {
 	MaxConcurrent int
 	// MaxLease caps any granted lease duration. Default 1m.
 	MaxLease time.Duration
-	// Logf receives operational log lines. Default log.Printf.
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (the -pprof
+	// flag on ksetsweepd).
+	EnablePprof bool
+	// Log receives operational log lines. Default obs.DefaultLogger().
+	Log *obs.Logger
+	// Logf, when set and Log is nil, receives every log line
+	// pre-formatted (the pre-obs hook; tests silence logs through it).
 	Logf func(format string, args ...any)
 }
 
@@ -36,8 +42,12 @@ func (c WorkerConfig) withDefaults() WorkerConfig {
 	if c.MaxLease <= 0 {
 		c.MaxLease = time.Minute
 	}
-	if c.Logf == nil {
-		c.Logf = log.Printf
+	if c.Log == nil {
+		if c.Logf != nil {
+			c.Log = obs.NewFuncLogger(c.Logf)
+		} else {
+			c.Log = obs.DefaultLogger()
+		}
 	}
 	return c
 }
@@ -58,49 +68,74 @@ type WorkerStats struct {
 // the heartbeat probes the coordinator's failure detector sends.
 type Worker struct {
 	cfg   WorkerConfig
+	log   *obs.Logger
 	mux   *http.ServeMux
 	sem   chan struct{}
 	start time.Time
 
 	boundAddr atomic.Pointer[string]
 
-	execs      atomic.Uint64
-	execErrors atomic.Uint64
-	panics     atomic.Uint64
-	overloaded atomic.Uint64
-	heartbeats atomic.Uint64
-	inFlight   atomic.Int64
+	reg        *obs.Registry
+	execs      *obs.Counter
+	execErrors *obs.Counter
+	panics     *obs.Counter
+	overloaded *obs.Counter
+	heartbeats *obs.Counter
+	inFlight   *obs.Gauge
 }
 
 // NewWorker builds a Worker from cfg (zero value: all defaults).
 func NewWorker(cfg WorkerConfig) *Worker {
 	cfg = cfg.withDefaults()
+	reg := obs.NewRegistry()
 	w := &Worker{
 		cfg:   cfg,
+		log:   cfg.Log,
 		mux:   http.NewServeMux(),
 		sem:   make(chan struct{}, cfg.MaxConcurrent),
 		start: time.Now(),
+		reg:   reg,
+		execs: reg.Counter("kset_dist_worker_execs_total",
+			"shard executions completed successfully"),
+		execErrors: reg.Counter("kset_dist_worker_exec_errors_total",
+			"shard executions that failed (injected faults included)"),
+		panics: reg.Counter("kset_dist_worker_panics_total",
+			"recovered handler panics"),
+		overloaded: reg.Counter("kset_dist_worker_overloaded_total",
+			"shed at admission (503)"),
+		heartbeats: reg.Counter("kset_dist_worker_heartbeats_total",
+			"heartbeat probes answered"),
+		inFlight: reg.Gauge("kset_dist_worker_in_flight", "shards computing now"),
 	}
 	w.mux.HandleFunc("/dist/v1/exec", w.handleExec)
 	w.mux.HandleFunc("/dist/v1/heartbeat", w.handleHeartbeat)
 	w.mux.HandleFunc("/healthz", w.handleHealthz)
 	w.mux.HandleFunc("/readyz", w.handleHealthz) // no warm boot: ready ⇔ live
 	w.mux.HandleFunc("/statz", w.handleStatz)
+	w.mux.HandleFunc("/metrics", w.handleMetrics)
+	if cfg.EnablePprof {
+		obs.RegisterPprof(w.mux)
+	}
 	return w
 }
 
 // Handler returns the worker's HTTP handler (for tests and embedding).
 func (w *Worker) Handler() http.Handler { return w.mux }
 
-// Stats returns the current counters.
+// MetricsRegistry exposes the worker's per-instance metric registry.
+func (w *Worker) MetricsRegistry() *obs.Registry { return w.reg }
+
+// Stats returns the current counters, snapshotted through the registry
+// in one pass.
 func (w *Worker) Stats() WorkerStats {
+	v := w.reg.Values()
 	return WorkerStats{
-		Execs:         w.execs.Load(),
-		ExecErrors:    w.execErrors.Load(),
-		Panics:        w.panics.Load(),
-		Overloaded:    w.overloaded.Load(),
-		Heartbeats:    w.heartbeats.Load(),
-		InFlight:      w.inFlight.Load(),
+		Execs:         uint64(v["kset_dist_worker_execs_total"]),
+		ExecErrors:    uint64(v["kset_dist_worker_exec_errors_total"]),
+		Panics:        uint64(v["kset_dist_worker_panics_total"]),
+		Overloaded:    uint64(v["kset_dist_worker_overloaded_total"]),
+		Heartbeats:    uint64(v["kset_dist_worker_heartbeats_total"]),
+		InFlight:      int64(v["kset_dist_worker_in_flight"]),
 		UptimeSeconds: int64(time.Since(w.start) / time.Second),
 	}
 }
@@ -123,6 +158,12 @@ type ExecResponse struct {
 	Payload []byte `json:"payload"`
 	CRC     uint32 `json:"crc"`
 	Ranks   int64  `json:"ranks"`
+	// Spans are the worker-side trace spans of this request, returned
+	// only when the request carried an X-Kset-Trace header. They are
+	// NOT covered by CRC (corrupting a span must not fail a valid
+	// payload); the coordinator imports them at commit, stitching the
+	// cross-process trace tree.
+	Spans []obs.SpanData `json:"spans,omitempty"`
 }
 
 type workerError struct {
@@ -143,9 +184,9 @@ func writeWorkerError(w http.ResponseWriter, status int, kind, msg string) {
 func (w *Worker) handleExec(rw http.ResponseWriter, r *http.Request) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			w.panics.Add(1)
-			w.execErrors.Add(1)
-			w.cfg.Logf("dist: worker recovered exec panic: %v\n%s", rec, debug.Stack())
+			w.panics.Inc()
+			w.execErrors.Inc()
+			w.log.Errorf("dist: worker recovered exec panic: %v\n%s", rec, debug.Stack())
 			writeWorkerError(rw, http.StatusInternalServerError, "internal", fmt.Sprintf("panic: %v", rec))
 		}
 	}()
@@ -157,7 +198,7 @@ func (w *Worker) handleExec(rw http.ResponseWriter, r *http.Request) {
 	case w.sem <- struct{}{}:
 		defer func() { <-w.sem }()
 	default:
-		w.overloaded.Add(1)
+		w.overloaded.Inc()
 		writeWorkerError(rw, http.StatusServiceUnavailable, "overloaded", "concurrency limit reached")
 		return
 	}
@@ -169,10 +210,30 @@ func (w *Worker) handleExec(rw http.ResponseWriter, r *http.Request) {
 		writeWorkerError(rw, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
+	// A traced request (X-Kset-Trace from the coordinator's grant span)
+	// collects this worker's spans request-scoped and ships them back in
+	// the response — cross-process stitching without a trace collector
+	// service. Untraced requests skip all of this.
+	rctx := r.Context()
+	var collector *obs.Collector
+	if h := r.Header.Get(obs.TraceHeaderName); h != "" {
+		proc := "ksetsweepd"
+		if addr := w.Addr(); addr != "" {
+			proc += ":" + addr
+		}
+		collector = obs.NewCollector(proc)
+		rctx, _ = obs.WithRemoteParent(rctx, h, collector)
+	}
+	execCtx, execSpan := obs.StartSpan(rctx, "dist.exec")
+	execSpan.SetInt("shard", int64(req.Shard))
+	execSpan.SetInt("ranks", req.To-req.From)
+	execSpan.SetAttr("op", req.Op)
+	defer execSpan.End()
+
 	// The fault hook models a crashed (panic), failing (error) or straggling
 	// (delay) worker while the grant holds its admission slot.
 	if err := faultinject.Hit(faultinject.PointDistExec); err != nil {
-		w.execErrors.Add(1)
+		w.execErrors.Inc()
 		writeWorkerError(rw, http.StatusInternalServerError, "internal", err.Error())
 		return
 	}
@@ -192,12 +253,13 @@ func (w *Worker) handleExec(rw http.ResponseWriter, r *http.Request) {
 			lease = d
 		}
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), lease)
+	ctx, cancel := context.WithTimeout(execCtx, lease)
 	defer cancel()
 
 	payload, err := op.Run(ctx, m, req.From, req.To)
 	if err != nil {
-		w.execErrors.Add(1)
+		w.execErrors.Inc()
+		execSpan.SetAttr("error", err.Error())
 		switch {
 		case errors.Is(err, model.ErrEnumerationBudget):
 			writeWorkerError(rw, http.StatusUnprocessableEntity, "budget", err.Error())
@@ -214,7 +276,11 @@ func (w *Worker) handleExec(rw http.ResponseWriter, r *http.Request) {
 	// verification path must catch.
 	faultinject.Corrupt(faultinject.PointDistResult, payload)
 	resp.Payload = payload
-	w.execs.Add(1)
+	w.execs.Inc()
+	if collector != nil {
+		execSpan.End() // record before the snapshot so the exec span ships too
+		resp.Spans = collector.Spans()
+	}
 	writeWorkerJSON(rw, http.StatusOK, resp)
 }
 
@@ -225,8 +291,8 @@ func (w *Worker) handleHeartbeat(rw http.ResponseWriter, r *http.Request) {
 		writeWorkerError(rw, http.StatusServiceUnavailable, "internal", err.Error())
 		return
 	}
-	w.heartbeats.Add(1)
-	writeWorkerJSON(rw, http.StatusOK, map[string]any{"ok": true, "in_flight": w.inFlight.Load()})
+	w.heartbeats.Inc()
+	writeWorkerJSON(rw, http.StatusOK, map[string]any{"ok": true, "in_flight": w.inFlight.Value()})
 }
 
 func (w *Worker) handleHealthz(rw http.ResponseWriter, r *http.Request) {
@@ -235,6 +301,13 @@ func (w *Worker) handleHealthz(rw http.ResponseWriter, r *http.Request) {
 
 func (w *Worker) handleStatz(rw http.ResponseWriter, r *http.Request) {
 	writeWorkerJSON(rw, http.StatusOK, w.Stats())
+}
+
+// handleMetrics serves the Prometheus text exposition: the process-wide
+// engine metrics plus this worker instance's counters.
+func (w *Worker) handleMetrics(rw http.ResponseWriter, r *http.Request) {
+	rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WritePrometheusTo(rw, obs.DefaultRegistry(), w.reg)
 }
 
 // Addr returns the bound listen address once Run has opened its listener.
@@ -255,13 +328,13 @@ func (w *Worker) Run(ctx context.Context, addr string, drainGrace time.Duration)
 	}
 	bound := ln.Addr().String()
 	w.boundAddr.Store(&bound)
-	w.cfg.Logf("dist: worker listening on %s", bound)
+	w.log.Infof("dist: worker listening on %s", bound)
 	srv := &http.Server{Handler: w.Handler()}
 
 	shutdownErr := make(chan error, 1)
 	go func() {
 		<-ctx.Done()
-		w.cfg.Logf("dist: worker draining (grace %s)", drainGrace)
+		w.log.Infof("dist: worker draining (grace %s)", drainGrace)
 		sctx, cancel := context.WithTimeout(context.Background(), drainGrace)
 		defer cancel()
 		shutdownErr <- srv.Shutdown(sctx)

@@ -296,6 +296,7 @@ func (r *hybridReducer) symdiff(col *column, b []uint32) {
 // densify converts a sparse column to a bit-packed dense block, recycling
 // the larger of the old storage and the current spare.
 func (r *hybridReducer) densify(col *column) {
+	obsPromotions.Inc()
 	d := r.newDense()
 	for _, row := range col.sparse {
 		d.SetBit(int(row))

@@ -44,8 +44,12 @@ import (
 	"context"
 	"fmt"
 
+	"ksettop/internal/obs"
 	"ksettop/internal/par"
 )
+
+var obsReductions = obs.DefaultRegistry().Counter("kset_homology_reductions_total",
+	"per-dimension boundary-matrix reductions completed")
 
 // Complex is the read surface the engine needs from a simplicial complex:
 // the maximal simplexes as sorted vertex lists. *topology.AbstractComplex
@@ -138,11 +142,19 @@ func (cc *ChainComplex) reducedBetti(ctx context.Context, maxDim int, sparse boo
 	rank := make([]int, maxDim+2)
 	rank[0] = 1 // augmentation ∂_0: rank 1 on a nonempty complex
 	var cleared []bool
+	engine := "hybrid"
+	if sparse {
+		engine = "sparse"
+	}
 	for q := maxDim + 1; q >= 1; q-- {
 		if cc.levels[q].Count() == 0 {
 			cleared = nil
 			continue
 		}
+		_, span := obs.StartSpan(ctx, "homology.reduce")
+		span.SetInt("dim", int64(q))
+		span.SetInt("columns", int64(cc.levels[q].Count()))
+		span.SetAttr("engine", engine)
 		m := cc.Boundary(q)
 		var err error
 		if sparse {
@@ -151,8 +163,12 @@ func (cc *ChainComplex) reducedBetti(ctx context.Context, maxDim int, sparse boo
 			rank[q], cleared, err = m.reduceHybrid(ctl, cleared)
 		}
 		if err != nil {
+			span.End()
 			return nil, abortErr(ctl, ctx)
 		}
+		obsReductions.Inc()
+		span.SetInt("rank", int64(rank[q]))
+		span.End()
 	}
 	betti := make([]int, maxDim+1)
 	for q := 0; q <= maxDim; q++ {

@@ -1,0 +1,43 @@
+package homology
+
+import (
+	"reflect"
+	"testing"
+
+	"ksettop/internal/obs"
+)
+
+// Betti numbers must be identical with the observability layer fully on
+// (metrics + tracing) and fully off — instrumentation sits at per-dimension
+// span granularity, never inside the reduction.
+func TestBettiObsOnOffDeterminism(t *testing.T) {
+	complexes := map[string][][]int{
+		"sphere": {{0, 1, 2}, {0, 1, 3}, {0, 2, 3}, {1, 2, 3}},
+		"RP2": {
+			{0, 1, 4}, {0, 1, 5}, {0, 2, 3}, {0, 2, 5}, {0, 3, 4},
+			{1, 2, 3}, {1, 2, 4}, {1, 3, 5}, {2, 4, 5}, {3, 4, 5},
+		},
+		"wedge": {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}},
+	}
+
+	obs.ResetTrace(0)
+	obs.SetTracingEnabled(true)
+	obs.SetEnabled(true)
+	t.Cleanup(func() {
+		obs.SetTracingEnabled(false)
+		obs.SetEnabled(true)
+		obs.ResetTrace(0)
+	})
+
+	on := map[string][]int{}
+	for name, facets := range complexes {
+		on[name] = betti(t, facets, 2)
+	}
+	obs.SetTracingEnabled(false)
+	obs.SetEnabled(false)
+	for name, facets := range complexes {
+		if got := betti(t, facets, 2); !reflect.DeepEqual(got, on[name]) {
+			t.Fatalf("%s: betti %v with obs off, %v with obs on", name, got, on[name])
+		}
+	}
+}

@@ -3,7 +3,17 @@ package homology
 import (
 	"errors"
 
+	"ksettop/internal/obs"
 	"ksettop/internal/par"
+)
+
+var (
+	obsApparentPairs = obs.DefaultRegistry().Counter("kset_homology_apparent_pairs_total",
+		"columns retired by the apparent-pairs preprocessing pass")
+	obsColumnsReduced = obs.DefaultRegistry().Counter("kset_homology_columns_reduced_total",
+		"columns that survived the apparent pass into block reduction")
+	obsPromotions = obs.DefaultRegistry().Counter("kset_homology_promotions_total",
+		"sparse columns promoted to dense bit-packed form")
 )
 
 // This file is the reduction layer: the implicit CSC boundary matrix, the
@@ -207,6 +217,9 @@ func (m *Boundary) reduceHybrid(ctl *par.Ctl, cleared []bool) (int, []bool, erro
 			queue = append(queue, int32(j))
 		}
 	}
+
+	obsApparentPairs.Add(uint64(rank))
+	obsColumnsReduced.Add(uint64(len(queue)))
 
 	var reducers []*hybridReducer
 	if len(queue) > 0 {

@@ -3,6 +3,15 @@ package memo
 import (
 	"fmt"
 	"sync"
+
+	"ksettop/internal/obs"
+)
+
+var (
+	obsFlightLeaders = obs.DefaultRegistry().Counter("kset_flight_leaders_total",
+		"singleflight calls that ran the computation")
+	obsFlightShared = obs.DefaultRegistry().Counter("kset_flight_shared_total",
+		"singleflight calls that joined an in-flight computation")
 )
 
 // Flight deduplicates concurrent computations of the same key: the first
@@ -33,9 +42,11 @@ func (f *Flight[V]) Do(key string, fn func() (V, error)) (v V, err error, shared
 	}
 	if c, ok := f.calls[key]; ok {
 		f.mu.Unlock()
+		obsFlightShared.Inc()
 		<-c.done
 		return c.val, c.err, true
 	}
+	obsFlightLeaders.Inc()
 	c := &flightCall[V]{done: make(chan struct{})}
 	f.calls[key] = c
 	f.mu.Unlock()

@@ -21,6 +21,19 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"ksettop/internal/obs"
+)
+
+// Process-wide memo metrics, aggregated across every Cache instance (the
+// per-cache atomics behind Stats() remain the per-cache view).
+var (
+	obsHits = obs.DefaultRegistry().Counter("kset_memo_hits_total",
+		"memo cache hits across all caches")
+	obsMisses = obs.DefaultRegistry().Counter("kset_memo_misses_total",
+		"memo cache misses across all caches")
+	obsEvictions = obs.DefaultRegistry().Counter("kset_memo_evictions_total",
+		"LRU evictions across all caches")
 )
 
 // Key builds the canonical cache key of a set of objects: the sorted
@@ -113,10 +126,12 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 	e, ok := c.entries[key]
 	if !ok {
 		c.misses.Add(1)
+		obsMisses.Inc()
 		return zero, false
 	}
 	c.moveToFront(e)
 	c.hits.Add(1)
+	obsHits.Inc()
 	return e.value, true
 }
 
@@ -138,6 +153,7 @@ func (c *Cache[V]) Put(key string, value V) {
 		c.unlink(lru)
 		delete(c.entries, lru.key)
 		c.evictions.Add(1)
+		obsEvictions.Inc()
 	}
 	e := &entry[V]{key: key, value: value}
 	c.entries[key] = e

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLoggerLevelsAndJSON(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo)
+	l.Debugf("hidden %d", 1)
+	l.Infof("visible %q", "x")
+	l.Warnf("warned")
+	l.Errorf("failed: %v", "boom")
+	sc := bufio.NewScanner(&buf)
+	var lines []map[string]string
+	for sc.Scan() {
+		var m map[string]string
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line is not JSON: %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3 (debug filtered)", len(lines))
+	}
+	wantLevels := []string{"info", "warn", "error"}
+	for i, m := range lines {
+		if m["level"] != wantLevels[i] {
+			t.Errorf("line %d level = %q, want %q", i, m["level"], wantLevels[i])
+		}
+		if m["ts"] == "" || m["msg"] == "" {
+			t.Errorf("line %d missing ts/msg: %v", i, m)
+		}
+	}
+	if lines[0]["msg"] != `visible "x"` {
+		t.Errorf("formatting lost: %q", lines[0]["msg"])
+	}
+}
+
+func TestLoggerSetLevel(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelError)
+	l.Warnf("nope")
+	l.SetLevel(LevelDebug)
+	l.Debugf("yep")
+	if got := buf.String(); !strings.Contains(got, "yep") || strings.Contains(got, "nope") {
+		t.Fatalf("SetLevel not honored: %q", got)
+	}
+}
+
+func TestFuncLoggerAdapter(t *testing.T) {
+	var mu sync.Mutex
+	var got []string
+	l := NewFuncLogger(func(format string, args ...any) {
+		mu.Lock()
+		got = append(got, strings.TrimSpace(strings.ReplaceAll(format, "%s", "")))
+		_ = args
+		mu.Unlock()
+	})
+	l.Infof("hello %d", 7)
+	mu.Lock()
+	n := len(got)
+	mu.Unlock()
+	if n != 1 {
+		t.Fatalf("func sink called %d times, want 1", n)
+	}
+}
+
+func TestFuncLoggerForwardsRendered(t *testing.T) {
+	var lines []string
+	l := NewFuncLogger(func(format string, args ...any) {
+		lines = append(lines, strings.TrimSuffix(
+			strings.ReplaceAll(format, "%s", args[0].(string)), "\n"))
+	})
+	l.Errorf("bad thing %d", 42)
+	if len(lines) != 1 || lines[0] != "bad thing 42" {
+		t.Fatalf("rendered line = %v", lines)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "INFO": LevelInfo, " warn ": LevelWarn,
+		"warning": LevelWarn, "Error": LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel should reject unknown levels")
+	}
+}
+
+func TestNilLoggerSafe(t *testing.T) {
+	var l *Logger
+	l.Infof("no panic")
+	l.SetLevel(LevelDebug)
+}
+
+func TestErrorCounter(t *testing.T) {
+	before := errorLines.Value()
+	NewLogger(&bytes.Buffer{}, LevelInfo).Errorf("tracked")
+	if errorLines.Value() != before+1 {
+		t.Fatal("error-line counter not bumped")
+	}
+}
+
+func TestConcurrentLogging(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelDebug)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Infof("w%d-%d", i, j)
+			}
+		}(i)
+	}
+	wg.Wait()
+	sc := bufio.NewScanner(&buf)
+	count := 0
+	for sc.Scan() {
+		if !json.Valid(sc.Bytes()) {
+			t.Fatalf("interleaved line: %q", sc.Text())
+		}
+		count++
+	}
+	if count != 800 {
+		t.Fatalf("got %d lines, want 800", count)
+	}
+}

@@ -1,0 +1,435 @@
+// Package obs is the repo-wide observability backbone: a
+// zero-dependency metrics registry (atomic counters, gauges,
+// fixed-bucket histograms with quantile extraction and Prometheus text
+// exposition), lightweight span tracing with cross-process propagation
+// (trace.go), and structured leveled JSON logging (log.go).
+//
+// Design constraints, in order:
+//
+//  1. Determinism. Instrumentation must never perturb engine results:
+//     counters and spans are observed at shard/phase granularity, never
+//     inside result computation, and nothing here feeds back into
+//     scheduling decisions. Engine outputs are pinned byte-identical
+//     with obs on and off by the corpus tests.
+//  2. Near-zero disabled cost. The package-level Enabled switch gates
+//     every timing observation (time.Now calls, histogram observes);
+//     span creation is additionally gated by the tracing switch.
+//     Plain counters stay live regardless — /statz correctness depends
+//     on them and a single uncontended atomic add is free next to any
+//     shard of real work (the ObsOverhead bench row pins this).
+//  3. No dependencies. Everything is stdlib; the Prometheus text
+//     format is emitted directly.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// enabled is the master switch for *expensive* instrumentation:
+// histogram observes and the time.Now calls that feed them. Counters
+// and gauges are intentionally not gated (see the package comment).
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// SetEnabled flips the master instrumentation switch. Disabling turns
+// histogram observation into a load+branch and lets callers skip their
+// time.Now reads (guard them behind Enabled()).
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether timing instrumentation is active.
+func Enabled() bool { return enabled.Load() }
+
+// A Counter is a monotonically increasing atomic counter. The zero
+// value is usable; nil receivers are no-ops so call sites never need a
+// nil check.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// A Gauge is an atomic value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds delta (negative to decrement).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// A Histogram is a fixed-bucket histogram with Prometheus `le`
+// semantics: bucket i counts observations v <= bounds[i], with an
+// implicit +Inf bucket at the end. Observation is lock-free.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds, +Inf implicit
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Observe records v. It is a no-op when the package is disabled.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || !enabled.Load() {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		upd := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, upd) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile estimates the p-quantile (p in [0,1]) from the bucket
+// counts, interpolating linearly inside the bucket where the cumulative
+// count crosses p·total (the same estimate Prometheus's
+// histogram_quantile computes). Observations in the +Inf bucket clamp
+// to the highest finite bound. Returns 0 with no observations.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := p * float64(total)
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= target {
+			if i == len(h.bounds) { // +Inf bucket: clamp
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (target - float64(cum)) / float64(n)
+			return lo + (h.bounds[i]-lo)*frac
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// LatencyBuckets returns the standard latency bounds in seconds,
+// 100µs … 10s.
+func LatencyBuckets() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+		0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+}
+
+// SizeBuckets returns power-of-4 bounds for count/size distributions,
+// 1 … 4^10 (~1M).
+func SizeBuckets() []float64 {
+	b := make([]float64, 11)
+	v := 1.0
+	for i := range b {
+		b[i] = v
+		v *= 4
+	}
+	return b
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+type metric struct {
+	name string
+	help string
+	kind metricKind
+	ctr  *Counter
+	gge  *Gauge
+	hst  *Histogram
+}
+
+// A Registry holds named metrics and renders them as Prometheus text.
+// Registration is idempotent by name; registering an existing name with
+// a different kind panics (programmer error). Daemon instances
+// (serve.Server, dist.Coordinator, dist.Worker) each own a Registry so
+// in-process tests don't share counters; engine-wide metrics live in
+// DefaultRegistry.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// DefaultRegistry is the process-wide registry for engine metrics
+// (par, solver, homology, memo).
+func DefaultRegistry() *Registry { return defaultRegistry }
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		alpha := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) lookup(name, help string, kind metricKind) *metric {
+	if !validName(name) {
+		panic("obs: invalid metric name " + strconv.Quote(name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != kind {
+			panic("obs: metric " + name + " already registered as " + m.kind.String())
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, kind: kind}
+	r.metrics[name] = m
+	return m
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.lookup(name, help, kindCounter)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.ctr == nil {
+		m.ctr = &Counter{}
+	}
+	return m.ctr
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := r.lookup(name, help, kindGauge)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.gge == nil {
+		m.gge = &Gauge{}
+	}
+	return m.gge
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given ascending bucket bounds on first use (later calls may
+// pass nil bounds). Panics on empty or unsorted bounds at creation.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	m := r.lookup(name, help, kindHistogram)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.hst == nil {
+		if len(bounds) == 0 {
+			panic("obs: histogram " + name + " created with no buckets")
+		}
+		if !sort.Float64sAreSorted(bounds) {
+			panic("obs: histogram " + name + " buckets not ascending")
+		}
+		b := make([]float64, len(bounds))
+		copy(b, bounds)
+		m.hst = &Histogram{bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
+	}
+	return m.hst
+}
+
+func (r *Registry) sorted() []*metric {
+	r.mu.Lock()
+	out := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		out = append(out, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Values returns every counter and gauge value in one pass under the
+// registry lock — the atomic snapshot /statz is built from. Histograms
+// contribute name_count and name_sum entries.
+func (r *Registry) Values() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.metrics)+4)
+	for name, m := range r.metrics {
+		switch m.kind {
+		case kindCounter:
+			out[name] = float64(m.ctr.Value())
+		case kindGauge:
+			out[name] = float64(m.gge.Value())
+		case kindHistogram:
+			out[name+"_count"] = float64(m.hst.Count())
+			out[name+"_sum"] = m.hst.Sum()
+		}
+	}
+	return out
+}
+
+func promFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4), metrics sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, m := range r.sorted() {
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind); err != nil {
+			return err
+		}
+		switch m.kind {
+		case kindCounter:
+			if _, err := fmt.Fprintf(w, "%s %d\n", m.name, m.ctr.Value()); err != nil {
+				return err
+			}
+		case kindGauge:
+			if _, err := fmt.Fprintf(w, "%s %d\n", m.name, m.gge.Value()); err != nil {
+				return err
+			}
+		case kindHistogram:
+			var cum uint64
+			for i, bound := range m.hst.bounds {
+				cum += m.hst.buckets[i].Load()
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n",
+					m.name, promFloat(bound), cum); err != nil {
+					return err
+				}
+			}
+			cum += m.hst.buckets[len(m.hst.bounds)].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+				m.name, promFloat(m.hst.Sum()), m.name, m.hst.Count()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WritePrometheusTo renders several registries back to back (daemons
+// expose their instance registry alongside DefaultRegistry; names must
+// not overlap across the registries passed).
+func WritePrometheusTo(w io.Writer, regs ...*Registry) error {
+	for _, r := range regs {
+		if r == nil {
+			continue
+		}
+		if err := r.WritePrometheus(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

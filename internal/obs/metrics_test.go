@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"bufio"
+	"math"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryIdempotentAndKindMismatch(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("a_total", "help")
+	c2 := r.Counter("a_total", "ignored")
+	if c1 != c2 {
+		t.Fatal("Counter not idempotent by name")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter name as a gauge should panic")
+		}
+	}()
+	r.Gauge("a_total", "boom")
+}
+
+func TestRegistryRejectsBadNames(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "9lead", "has space", "dash-ed", "unicodé"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q should panic", bad)
+				}
+			}()
+			r.Counter(bad, "")
+		}()
+	}
+}
+
+// TestRegistryConcurrency hammers registration and observation from
+// many goroutines; run under -race this is the registry's thread-safety
+// pin.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	const workers = 16
+	const iters = 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("conc_total", "")
+			g := r.Gauge("conc_gauge", "")
+			h := r.Histogram("conc_seconds", "", LatencyBuckets())
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(0.001 * float64(i%10))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("conc_total", "").Value(); got != workers*iters {
+		t.Fatalf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := r.Gauge("conc_gauge", "").Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+	if got := r.Histogram("conc_seconds", "", nil).Count(); got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+	vals := r.Values()
+	if vals["conc_total"] != workers*iters {
+		t.Fatalf("Values snapshot: %v", vals)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("b_seconds", "", []float64{1, 2, 4})
+	// Prometheus le semantics: an observation exactly on a bound lands
+	// in that bound's bucket.
+	for _, v := range []float64{0.5, 1.0, 1.5, 2.0, 4.0, 4.5} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 2, 1, 1} // (-inf,1], (1,2], (2,4], (4,+inf)
+	for i, w := range want {
+		if got := h.buckets[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d, want 6", h.Count())
+	}
+	if math.Abs(h.Sum()-13.5) > 1e-9 {
+		t.Errorf("sum = %v, want 13.5", h.Sum())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "", []float64{10, 20, 30, 40})
+	// 100 observations uniform in (0,40]: 25 per bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.4)
+	}
+	cases := []struct{ p, want float64 }{
+		{0.5, 20},  // cum hits 50 exactly at the top of bucket (10,20]
+		{0.95, 38}, // 95 → 20 into bucket (30,40] of 25 → 30 + 10*20/25
+		{0.99, 39.6},
+		{1.0, 40},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// +Inf bucket clamps to the highest finite bound.
+	h2 := r.Histogram("q2_seconds", "", []float64{1})
+	h2.Observe(100)
+	if got := h2.Quantile(0.5); got != 1 {
+		t.Errorf("overflow quantile = %v, want clamp to 1", got)
+	}
+	var empty *Histogram
+	if empty.Quantile(0.5) != 0 || h.Quantile(-1) == math.NaN() {
+		t.Error("nil/degenerate quantile handling")
+	}
+}
+
+func TestSetEnabledGatesHistograms(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("gated_seconds", "", []float64{1})
+	c := r.Counter("gated_total", "")
+	SetEnabled(false)
+	h.Observe(0.5)
+	c.Inc()
+	SetEnabled(true)
+	if h.Count() != 0 {
+		t.Error("histogram observed while disabled")
+	}
+	if c.Value() != 1 {
+		t.Error("counters must stay live while disabled")
+	}
+}
+
+// promLine matches the Prometheus text exposition grammar subset we
+// emit: comments, and `name[{le="v"}] value`.
+var promLine = regexp.MustCompile(
+	`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*` +
+		`|[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? (NaN|[0-9eE+.-]+))$`)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_total", "last alphabetically").Add(3)
+	r.Gauge("a_gauge", "first").Set(-2)
+	h := r.Histogram("m_seconds", "mid", []float64{0.25, 0.5})
+	h.Observe(0.1)
+	h.Observe(0.3)
+	h.Observe(9)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		if !promLine.MatchString(sc.Text()) {
+			t.Errorf("line fails exposition grammar: %q", sc.Text())
+		}
+	}
+	for _, want := range []string{
+		"# TYPE z_total counter", "z_total 3",
+		"# TYPE a_gauge gauge", "a_gauge -2",
+		"# TYPE m_seconds histogram",
+		`m_seconds_bucket{le="0.25"} 1`,
+		`m_seconds_bucket{le="0.5"} 2`,
+		`m_seconds_bucket{le="+Inf"} 3`,
+		"m_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted by name: a_gauge before m_seconds before z_total.
+	if ai, zi := strings.Index(out, "a_gauge"), strings.Index(out, "z_total"); ai > zi {
+		t.Error("metrics not sorted by name")
+	}
+}

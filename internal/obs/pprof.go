@@ -1,0 +1,19 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// RegisterPprof mounts the net/http/pprof handlers on mux explicitly, so
+// daemons that build their own ServeMux (and therefore never see the
+// DefaultServeMux side-effect registration) can opt in behind a flag.
+// Profiling endpoints expose internals; callers gate this on explicit
+// configuration, never on by default.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func withTracing(t *testing.T) {
+	t.Helper()
+	prev := TracingEnabled()
+	SetTracingEnabled(true)
+	ResetTrace(0)
+	t.Cleanup(func() {
+		SetTracingEnabled(prev)
+		ResetTrace(0)
+	})
+}
+
+func TestSpanDisabledIsNil(t *testing.T) {
+	prev := TracingEnabled()
+	SetTracingEnabled(false)
+	defer SetTracingEnabled(prev)
+	ctx, sp := StartSpan(context.Background(), "noop")
+	if sp != nil {
+		t.Fatal("expected nil span with tracing off")
+	}
+	// All methods must be nil-safe.
+	sp.SetAttr("k", "v")
+	sp.SetInt("n", 1)
+	sp.End()
+	if TraceHeader(ctx) != "" {
+		t.Fatal("disabled span leaked a scope into ctx")
+	}
+}
+
+func TestSpanParentLinks(t *testing.T) {
+	withTracing(t)
+	ctx, root := StartSpan(context.Background(), "root")
+	cctx, child := StartSpan(ctx, "child")
+	_, grand := StartSpan(cctx, "grand")
+	grand.SetInt("depth", 2)
+	grand.End()
+	child.End()
+	root.End()
+	spans := TraceSpans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byName := map[string]SpanData{}
+	for _, sd := range spans {
+		byName[sd.Name] = sd
+	}
+	r, c, g := byName["root"], byName["child"], byName["grand"]
+	if r.TraceID == 0 || c.TraceID != r.TraceID || g.TraceID != r.TraceID {
+		t.Fatalf("trace IDs not shared: %x %x %x", r.TraceID, c.TraceID, g.TraceID)
+	}
+	if r.Parent != 0 || c.Parent != r.SpanID || g.Parent != c.SpanID {
+		t.Fatalf("parent links wrong: root=%x child.parent=%x grand.parent=%x",
+			r.SpanID, c.Parent, g.Parent)
+	}
+	if len(g.Attrs) != 1 || g.Attrs[0].K != "depth" || g.Attrs[0].V != "2" {
+		t.Fatalf("attrs = %v", g.Attrs)
+	}
+}
+
+func TestTraceHeaderRoundTrip(t *testing.T) {
+	withTracing(t)
+	ctx, sp := StartSpan(context.Background(), "origin")
+	h := TraceHeader(ctx)
+	if h == "" {
+		t.Fatal("no header from traced ctx")
+	}
+	col := NewCollector("workerproc")
+	rctx, ok := WithRemoteParent(context.Background(), h, col)
+	if !ok {
+		t.Fatalf("header %q did not parse", h)
+	}
+	_, remote := StartSpan(rctx, "remote")
+	remote.End()
+	sp.End()
+	got := col.Spans()
+	if len(got) != 1 {
+		t.Fatalf("collector got %d spans, want 1", len(got))
+	}
+	if got[0].TraceID != sp.TraceID() {
+		t.Fatalf("remote span trace %x, want %x", got[0].TraceID, sp.TraceID())
+	}
+	if got[0].Parent == 0 || got[0].Proc != "workerproc" {
+		t.Fatalf("remote span parent/proc wrong: %+v", got[0])
+	}
+	// Collected spans import into the ring alongside local ones.
+	ImportSpans(got)
+	spans := TraceSpans()
+	if len(spans) != 2 {
+		t.Fatalf("ring has %d spans, want 2", len(spans))
+	}
+	for _, bad := range []string{"", "zzz", "123", "0-0", "12-"} {
+		if _, ok := WithRemoteParent(context.Background(), bad, nil); ok {
+			t.Errorf("header %q should not parse", bad)
+		}
+	}
+}
+
+// A worker with tracing globally OFF must still record spans when the
+// request carries a remote parent — request-scoped collection.
+func TestRemoteParentOverridesDisabled(t *testing.T) {
+	prev := TracingEnabled()
+	SetTracingEnabled(false)
+	defer SetTracingEnabled(prev)
+	col := NewCollector("")
+	rctx, ok := WithRemoteParent(context.Background(), "00000000000000ab-00000000000000cd", col)
+	if !ok {
+		t.Fatal("parse failed")
+	}
+	_, sp := StartSpan(rctx, "exec")
+	if sp == nil {
+		t.Fatal("span must be live under a remote parent even with tracing off")
+	}
+	sp.End()
+	if len(col.Spans()) != 1 {
+		t.Fatal("span not collected")
+	}
+	if n := len(TraceSpans()); n != 0 {
+		t.Fatalf("ring should stay empty, has %d", n)
+	}
+}
+
+func TestTraceRingBounded(t *testing.T) {
+	withTracing(t)
+	ResetTrace(8)
+	defer ResetTrace(DefaultTraceCapacity)
+	for i := 0; i < 20; i++ {
+		_, sp := StartSpan(context.Background(), "s")
+		sp.SetInt("i", int64(i))
+		sp.End()
+	}
+	spans := TraceSpans()
+	if len(spans) != 8 {
+		t.Fatalf("ring length %d, want 8", len(spans))
+	}
+	// Oldest retained is i=12 (20 recorded, capacity 8).
+	if spans[0].Attrs[0].V != "12" || spans[7].Attrs[0].V != "19" {
+		t.Fatalf("ring order wrong: first=%v last=%v", spans[0].Attrs, spans[7].Attrs)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	withTracing(t)
+	ctx, root := StartSpan(context.Background(), "sweep")
+	_, child := StartSpan(ctx, "shard")
+	time.Sleep(time.Millisecond)
+	child.End()
+	root.End()
+	ImportSpans([]SpanData{{
+		TraceID: root.TraceID(), SpanID: 42, Parent: 7, Name: "remote.exec",
+		Proc: "otherproc", StartUnixNs: time.Now().UnixNano(), DurNs: 1000,
+	}})
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	var xEvents, metas int
+	procs := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			xEvents++
+		case "M":
+			metas++
+			if args, ok := ev["args"].(map[string]any); ok {
+				procs[args["name"].(string)] = true
+			}
+		}
+	}
+	if xEvents != 3 {
+		t.Fatalf("got %d X events, want 3", xEvents)
+	}
+	if metas != 2 || !procs["otherproc"] {
+		t.Fatalf("process metadata wrong: %d metas, procs=%v", metas, procs)
+	}
+}
+
+func TestStartSpanAt(t *testing.T) {
+	withTracing(t)
+	start := time.Now().Add(-time.Second)
+	_, sp := StartSpanAt(context.Background(), "retro", start)
+	sp.End()
+	spans := TraceSpans()
+	if len(spans) != 1 {
+		t.Fatal("no span recorded")
+	}
+	if spans[0].DurNs < int64(900*time.Millisecond) {
+		t.Fatalf("retroactive duration %dns too short", spans[0].DurNs)
+	}
+}

@@ -7,6 +7,16 @@ import (
 	"sync"
 
 	"ksettop/internal/faultinject"
+	"ksettop/internal/obs"
+)
+
+var (
+	obsDequeRuns = obs.DefaultRegistry().Counter("kset_par_deque_runs_total",
+		"work-stealing deque sweeps started")
+	obsDequeTasks = obs.DefaultRegistry().Counter("kset_par_deque_tasks_total",
+		"deque tasks executed (initial + spawned)")
+	obsDequeSpawns = obs.DefaultRegistry().Counter("kset_par_deque_spawns_total",
+		"tasks spawned mid-run by running tasks (work splits stolen by idle workers)")
 )
 
 // Task is one unit of work-stealing work. A running task may carve off
@@ -46,6 +56,7 @@ func (d *Deque) Spawn(t Task) {
 	copy(d.items[1:], d.items)
 	d.items[0] = t
 	d.pending++
+	obsDequeSpawns.Inc()
 	d.cond.Signal()
 }
 
@@ -84,6 +95,7 @@ func RunDequeCtx(ctx context.Context, tasks []Task, ctl *Ctl) error {
 	}
 	release := ctl.Bind(ctx)
 	defer release()
+	obsDequeRuns.Inc()
 	d := &Deque{items: append([]Task(nil), tasks...), pending: len(tasks), ctl: ctl}
 	d.cond = sync.NewCond(&d.mu)
 	workers := Parallelism()
@@ -141,6 +153,7 @@ func (d *Deque) work() {
 			t := d.items[0]
 			d.items = d.items[1:]
 			d.mu.Unlock()
+			obsDequeTasks.Inc()
 			d.runTask(t)
 			d.mu.Lock()
 			d.pending--

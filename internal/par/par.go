@@ -26,8 +26,26 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ksettop/internal/faultinject"
+	"ksettop/internal/obs"
+)
+
+// Shard-granularity instrumentation: counters fire once per sweep/shard
+// (never per rank), and the dispatch-wait histogram is gated behind
+// obs.Enabled() so the disabled path never reads the clock. None of
+// this feeds back into scheduling — determinism is untouched.
+var (
+	obsSweeps = obs.DefaultRegistry().Counter("kset_par_sweeps_total",
+		"shard fan-outs started (inline single-shard sweeps included)")
+	obsShards = obs.DefaultRegistry().Counter("kset_par_shards_total",
+		"shards dispatched to the worker pool")
+	obsShardsSkipped = obs.DefaultRegistry().Counter("kset_par_shards_skipped_total",
+		"shards drained without scanning because the sweep was already cancelled")
+	obsShardWait = obs.DefaultRegistry().Histogram("kset_par_shard_wait_seconds",
+		"delay between sweep start and each shard's dispatch (queue wait)",
+		obs.LatencyBuckets())
 )
 
 // EnvParallelism is the environment variable that overrides the default
@@ -268,8 +286,10 @@ func ForEachShardNCtx(ctx context.Context, total int64, shards int, ctl *Ctl, sc
 	}
 	release := ctl.Bind(ctx)
 	defer release()
+	obsSweeps.Inc()
 	if shards == 1 {
 		if !ctl.Stopped() {
+			obsShards.Inc()
 			runShard(ctl, 0, 0, total, scan)
 		}
 		return ctl.Cause()
@@ -277,6 +297,10 @@ func ForEachShardNCtx(ctx context.Context, total int64, shards int, ctl *Ctl, sc
 	workers := Parallelism()
 	if workers > shards {
 		workers = shards
+	}
+	var sweepStart time.Time
+	if obs.Enabled() {
+		sweepStart = time.Now()
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -290,7 +314,12 @@ func ForEachShardNCtx(ctx context.Context, total int64, shards int, ctl *Ctl, sc
 					return
 				}
 				if ctl.Stopped() {
+					obsShardsSkipped.Inc()
 					continue // drain remaining shards without scanning
+				}
+				obsShards.Inc()
+				if !sweepStart.IsZero() {
+					obsShardWait.Observe(time.Since(sweepStart).Seconds())
 				}
 				from, to := ShardBounds(total, shards, int(s))
 				runShard(ctl, int(s), from, to, scan)

@@ -6,7 +6,15 @@ import (
 
 	"ksettop/internal/bits"
 	"ksettop/internal/graph"
+	"ksettop/internal/obs"
 	"ksettop/internal/par"
+)
+
+var (
+	obsSolves = obs.DefaultRegistry().Counter("kset_solver_solves_total",
+		"SolveOneRound invocations")
+	obsSolveNodes = obs.DefaultRegistry().Counter("kset_solver_nodes_total",
+		"deterministic search nodes accounted across all solves")
 )
 
 // This file is the entry layer of the decision-map solver. The engine is
@@ -105,6 +113,12 @@ func SolveOneRoundEngineCtx(ctx context.Context, roundGraphs []graph.Digraph, nu
 		return SolveResult{}, fmt.Errorf("protocol: k %d must be ≥ 1", k)
 	}
 	n := roundGraphs[0].N()
+	obsSolves.Inc()
+	ctx, solveSpan := obs.StartSpan(ctx, "solver.solve")
+	solveSpan.SetInt("graphs", int64(len(roundGraphs)))
+	solveSpan.SetInt("values", int64(numValues))
+	solveSpan.SetInt("k", int64(k))
+	defer solveSpan.End()
 	numAssignments := 1
 	for i := 0; i < n; i++ {
 		numAssignments *= numValues
@@ -174,9 +188,11 @@ func SolveOneRoundEngineCtx(ctx context.Context, roundGraphs []graph.Digraph, nu
 	shards := par.NumShards(total)
 	var views *viewIntern
 	var constraints *constraintIntern
+	tableCtx, tableSpan := obs.StartSpan(ctx, "solver.tables")
+	defer tableSpan.End() // idempotent: records at the explicit End below
 	tableCtl := &par.Ctl{}
 	if shards <= 1 {
-		if err := par.ForEachShardNCtx(ctx, total, 1, tableCtl, func(_ int, from, to int64, _ *par.Ctl) {
+		if err := par.ForEachShardNCtx(tableCtx, total, 1, tableCtl, func(_ int, from, to int64, _ *par.Ctl) {
 			views, constraints = buildSolveTables(in, from, to)
 		}); err != nil {
 			return SolveResult{}, cancelCause(tableCtl, ctx)
@@ -184,7 +200,7 @@ func SolveOneRoundEngineCtx(ctx context.Context, roundGraphs []graph.Digraph, nu
 	} else {
 		localViews := make([]*viewIntern, shards)
 		localCons := make([]*constraintIntern, shards)
-		if err := par.ForEachShardNCtx(ctx, total, shards, tableCtl, func(shard int, from, to int64, _ *par.Ctl) {
+		if err := par.ForEachShardNCtx(tableCtx, total, shards, tableCtl, func(shard int, from, to int64, _ *par.Ctl) {
 			localViews[shard], localCons[shard] = buildSolveTables(in, from, to)
 		}); err != nil {
 			// Cancelled mid-build: some shard tables are missing, so the
@@ -196,6 +212,10 @@ func SolveOneRoundEngineCtx(ctx context.Context, roundGraphs []graph.Digraph, nu
 		}
 		views, constraints = mergeSolveTables(n, localViews, localCons)
 	}
+
+	tableSpan.SetInt("views", int64(len(views.views)))
+	tableSpan.SetInt("constraints", int64(constraints.count()))
+	tableSpan.End()
 
 	res := SolveResult{Views: len(views.views), Executions: numAssignments * len(roundGraphs)}
 	if numValues > 16 {
@@ -236,5 +256,15 @@ func SolveOneRoundEngineCtx(ctx context.Context, roundGraphs []graph.Digraph, nu
 			res.Map = t.decisionMap(out.decided)
 		}
 	}
+	obsSolveNodes.Add(uint64(res.Nodes))
+	solveSpan.SetInt("nodes", int64(res.Nodes))
+	solveSpan.SetInt("solvable", boolInt(res.Solvable))
 	return res, nil
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }

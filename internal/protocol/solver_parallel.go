@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"ksettop/internal/faultinject"
+	"ksettop/internal/obs"
 	"ksettop/internal/par"
 )
 
@@ -622,10 +623,14 @@ func solveParallel(ctx context.Context, t *solveTables, budget int) (parallelRes
 	if ctx != nil && ctx.Done() != nil {
 		probeStop = func(int) bool { return ctl.Stopped() }
 	}
+	_, probeSpan := obs.StartSpan(ctx, "solver.probe")
 	po := probe(t, shared, budget, probeStop)
 	res.nodes = po.nodes
 	res.stats.ProbeNodes = po.nodes
 	res.stats.SharedNogoods = shared.count()
+	probeSpan.SetInt("nodes", int64(po.nodes))
+	probeSpan.SetInt("shared_nogoods", int64(res.stats.SharedNogoods))
+	probeSpan.End()
 	switch po.status {
 	case statusSolved:
 		res.solved = true
@@ -641,7 +646,11 @@ func solveParallel(ctx context.Context, t *solveTables, budget int) (parallelRes
 	}
 
 	// The probe hit its limit: freeze the shared store and go wide.
+	_, decompSpan := obs.StartSpan(ctx, "solver.decompose")
 	tasks, records, prefixNodes := decompose(t, shared)
+	decompSpan.SetInt("tasks", int64(len(tasks)))
+	decompSpan.SetInt("prefix_nodes", int64(prefixNodes))
+	decompSpan.End()
 	res.stats.PrefixNodes = prefixNodes
 	res.nodes += prefixNodes
 	if res.nodes >= budget {
@@ -680,7 +689,11 @@ func solveParallel(ctx context.Context, t *solveTables, budget int) (parallelRes
 		pr.registerPending(task.path)
 		deqTasks[i] = func(d *par.Deque) { pr.runTask(task, d) }
 	}
-	if err := par.RunDequeCtx(ctx, deqTasks, ctl); err != nil {
+	sweepCtx, sweepSpan := obs.StartSpan(ctx, "solver.sweep")
+	sweepSpan.SetInt("tasks", int64(len(deqTasks)))
+	err := par.RunDequeCtx(sweepCtx, deqTasks, ctl)
+	sweepSpan.End()
+	if err != nil {
 		return res, cancelCause(ctl, ctx)
 	}
 	if cause := ctl.Cause(); cause != nil {

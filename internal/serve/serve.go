@@ -23,7 +23,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
 	"os"
@@ -38,6 +37,7 @@ import (
 	"ksettop/internal/faultinject"
 	"ksettop/internal/memo"
 	"ksettop/internal/model"
+	"ksettop/internal/obs"
 	"ksettop/internal/protocol"
 	"ksettop/internal/topology"
 )
@@ -63,9 +63,16 @@ type Config struct {
 	CheckpointEvery time.Duration
 	// Coordinator, when set, puts the service in coordinator mode: heavy
 	// closure counts distribute across its worker fleet, its counters merge
-	// into /statz, and /readyz additionally requires ≥ 1 live worker.
+	// into /statz and /metrics, and /readyz additionally requires ≥ 1 live
+	// worker.
 	Coordinator *dist.Coordinator
-	// Logf receives operational log lines. Default log.Printf.
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (the -pprof
+	// flag on ksetserved).
+	EnablePprof bool
+	// Log receives operational log lines. Default obs.DefaultLogger().
+	Log *obs.Logger
+	// Logf, when set and Log is nil, receives every log line pre-formatted
+	// (the pre-obs hook; tests silence logs through it).
 	Logf func(format string, args ...any)
 }
 
@@ -85,8 +92,12 @@ func (c Config) withDefaults() Config {
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = time.Minute
 	}
-	if c.Logf == nil {
-		c.Logf = log.Printf
+	if c.Log == nil {
+		if c.Logf != nil {
+			c.Log = obs.NewFuncLogger(c.Logf)
+		} else {
+			c.Log = obs.DefaultLogger()
+		}
 	}
 	return c
 }
@@ -111,6 +122,7 @@ type Stats struct {
 // Server is one bound-query service instance.
 type Server struct {
 	cfg   Config
+	log   *obs.Logger
 	mux   *http.ServeMux
 	sem   chan struct{}
 	fly   memo.Flight[any]
@@ -119,57 +131,104 @@ type Server struct {
 	boundAddr atomic.Pointer[string]
 	warmed    atomic.Bool
 
-	requests      atomic.Uint64
-	inFlight      atomic.Int64
-	shared        atomic.Uint64
-	panics        atomic.Uint64
-	overloaded    atomic.Uint64
-	budgetRejects atomic.Uint64
-	timeouts      atomic.Uint64
-	checkpoints   atomic.Uint64
+	// Counters live on a per-instance registry (tests spin many servers in
+	// one process), so /statz and /metrics read the same storage and a
+	// snapshot is one consistent pass under the registry lock.
+	reg           *obs.Registry
+	requests      *obs.Counter
+	inFlight      *obs.Gauge
+	shared        *obs.Counter
+	panics        *obs.Counter
+	overloaded    *obs.Counter
+	budgetRejects *obs.Counter
+	timeouts      *obs.Counter
+	checkpoints   *obs.Counter
+	requestSecs   *obs.Histogram
 }
 
 // New builds a Server from cfg (zero value: all defaults).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	reg := obs.NewRegistry()
 	s := &Server{
 		cfg:   cfg,
+		log:   cfg.Log,
 		mux:   http.NewServeMux(),
 		sem:   make(chan struct{}, cfg.MaxConcurrent),
 		start: time.Now(),
+		reg:   reg,
+		requests: reg.Counter("kset_serve_requests_total",
+			"API requests accepted for decoding"),
+		inFlight: reg.Gauge("kset_serve_in_flight", "requests computing now"),
+		shared: reg.Counter("kset_serve_shared_total",
+			"requests served by joining an in-flight computation"),
+		panics: reg.Counter("kset_serve_panics_total",
+			"worker/handler panics converted to 500s"),
+		overloaded: reg.Counter("kset_serve_overloaded_total",
+			"requests shed at admission (503)"),
+		budgetRejects: reg.Counter("kset_serve_budget_rejects_total",
+			"solver/enumeration budget rejections (422)"),
+		timeouts: reg.Counter("kset_serve_timeouts_total",
+			"request deadlines expired (504)"),
+		checkpoints: reg.Counter("kset_serve_checkpoints_total",
+			"background snapshot saves"),
+		requestSecs: reg.Histogram("kset_serve_request_seconds",
+			"admitted request wall time", obs.LatencyBuckets()),
 	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/statz", s.handleStatz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v1/solve", s.api(s.handleSolve))
 	s.mux.HandleFunc("/v1/betti", s.api(s.handleBetti))
 	s.mux.HandleFunc("/v1/bounds", s.api(s.handleBounds))
 	s.mux.HandleFunc("/v1/count", s.api(s.handleCount))
+	if cfg.EnablePprof {
+		obs.RegisterPprof(s.mux)
+	}
 	return s
 }
 
 // Handler returns the service's HTTP handler (for tests and embedding).
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Stats returns the current counters.
+// MetricsRegistry exposes the server's per-instance metric registry.
+func (s *Server) MetricsRegistry() *obs.Registry { return s.reg }
+
+// Stats returns the current counters, snapshotted through the registry in
+// one pass so /statz never tears a set of related counters.
 func (s *Server) Stats() Stats {
 	var ds *dist.CoordStats
 	if s.cfg.Coordinator != nil {
 		snap := s.cfg.Coordinator.Stats()
 		ds = &snap
 	}
+	v := s.reg.Values()
+	u := func(name string) uint64 { return uint64(v[name]) }
 	return Stats{
-		Dist: ds,
-		Requests:      s.requests.Load(),
-		InFlight:      s.inFlight.Load(),
-		Shared:        s.shared.Load(),
-		Panics:        s.panics.Load(),
-		Overloaded:    s.overloaded.Load(),
-		BudgetRejects: s.budgetRejects.Load(),
-		Timeouts:      s.timeouts.Load(),
-		Checkpoints:   s.checkpoints.Load(),
+		Dist:          ds,
+		Requests:      u("kset_serve_requests_total"),
+		InFlight:      int64(v["kset_serve_in_flight"]),
+		Shared:        u("kset_serve_shared_total"),
+		Panics:        u("kset_serve_panics_total"),
+		Overloaded:    u("kset_serve_overloaded_total"),
+		BudgetRejects: u("kset_serve_budget_rejects_total"),
+		Timeouts:      u("kset_serve_timeouts_total"),
+		Checkpoints:   u("kset_serve_checkpoints_total"),
 		UptimeSeconds: int64(time.Since(s.start) / time.Second),
 	}
+}
+
+// handleMetrics serves the Prometheus text exposition: engine-wide metrics
+// (solver, homology, par, memo) plus this server's, plus the coordinator's
+// when the service runs in coordinator mode.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	regs := []*obs.Registry{obs.DefaultRegistry(), s.reg}
+	if s.cfg.Coordinator != nil {
+		regs = append(regs, s.cfg.Coordinator.MetricsRegistry())
+	}
+	obs.WritePrometheusTo(w, regs...)
 }
 
 // apiError is the JSON error envelope. Kind is machine-readable:
@@ -192,13 +251,17 @@ func writeError(w http.ResponseWriter, status int, e apiError) {
 }
 
 // api wraps an endpoint with the hardening chain: panic isolation,
-// fault-injection hook, admission control.
+// fault-injection hook, admission control — plus the request span: the
+// admitted request becomes a "serve.request" span, adopting an inbound
+// X-Kset-Trace parent when a tracing client sent one, so engine-phase spans
+// (which read the context through compute's detached WithoutCancel chain)
+// parent into it.
 func (s *Server) api(h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if rec := recover(); rec != nil {
-				s.panics.Add(1)
-				s.cfg.Logf("serve: recovered handler panic: %v\n%s", rec, debug.Stack())
+				s.panics.Inc()
+				s.log.Errorf("serve: recovered handler panic: %v\n%s", rec, debug.Stack())
 				writeError(w, http.StatusInternalServerError,
 					apiError{Kind: "internal", Message: fmt.Sprintf("panic: %v", rec)})
 			}
@@ -211,13 +274,26 @@ func (s *Server) api(h func(http.ResponseWriter, *http.Request)) http.HandlerFun
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
 		default:
-			s.overloaded.Add(1)
+			s.overloaded.Inc()
 			writeError(w, http.StatusServiceUnavailable, apiError{Kind: "overloaded", Message: "concurrency limit reached"})
 			return
 		}
-		s.requests.Add(1)
+		s.requests.Inc()
 		s.inFlight.Add(1)
 		defer s.inFlight.Add(-1)
+		var admitted time.Time
+		if obs.Enabled() {
+			admitted = time.Now()
+			defer func() { s.requestSecs.Observe(time.Since(admitted).Seconds()) }()
+		}
+		ctx := r.Context()
+		if h := r.Header.Get(obs.TraceHeaderName); h != "" {
+			ctx, _ = obs.WithRemoteParent(ctx, h, nil)
+		}
+		ctx, span := obs.StartSpan(ctx, "serve.request")
+		span.SetAttr("path", r.URL.Path)
+		defer span.End()
+		r = r.WithContext(ctx)
 		// The fault hook runs while the request holds its admission slot, so
 		// an injected delay models a genuinely slow request: concurrent load
 		// then sheds with 503 exactly as it would in production.
@@ -270,18 +346,18 @@ func (s *Server) compute(w http.ResponseWriter, r *http.Request, timeoutMs int, 
 
 	select {
 	case <-reqCtx.Done():
-		s.timeouts.Add(1)
+		s.timeouts.Inc()
 		writeError(w, http.StatusGatewayTimeout,
 			apiError{Kind: "deadline", Message: context.Cause(reqCtx).Error()})
 	case out := <-ch:
 		switch {
 		case out.err == nil:
 			if out.shared {
-				s.shared.Add(1)
+				s.shared.Inc()
 			}
 			writeJSON(w, http.StatusOK, out.val)
 		case errors.Is(out.err, protocol.ErrBudgetExceeded):
-			s.budgetRejects.Add(1)
+			s.budgetRejects.Inc()
 			var be *protocol.BudgetError
 			e := apiError{Kind: "budget", Message: out.err.Error()}
 			if errors.As(out.err, &be) {
@@ -289,13 +365,13 @@ func (s *Server) compute(w http.ResponseWriter, r *http.Request, timeoutMs int, 
 			}
 			writeError(w, http.StatusUnprocessableEntity, e)
 		case errors.Is(out.err, model.ErrEnumerationBudget):
-			s.budgetRejects.Add(1)
+			s.budgetRejects.Inc()
 			writeError(w, http.StatusUnprocessableEntity, apiError{Kind: "budget", Message: out.err.Error()})
 		case errors.Is(out.err, context.DeadlineExceeded), errors.Is(out.err, context.Canceled):
-			s.timeouts.Add(1)
+			s.timeouts.Inc()
 			writeError(w, http.StatusGatewayTimeout, apiError{Kind: "deadline", Message: out.err.Error()})
 		default:
-			s.panics.Add(1)
+			s.panics.Inc()
 			writeError(w, http.StatusInternalServerError, apiError{Kind: "internal", Message: out.err.Error()})
 		}
 	}
@@ -360,7 +436,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		budget = s.cfg.MaxSolverBudget
 	}
 	if budget > s.cfg.MaxSolverBudget {
-		s.budgetRejects.Add(1)
+		s.budgetRejects.Inc()
 		writeError(w, http.StatusUnprocessableEntity, apiError{
 			Kind:    "budget",
 			Message: fmt.Sprintf("requested budget %d exceeds server cap %d", budget, s.cfg.MaxSolverBudget),
@@ -585,13 +661,13 @@ func (s *Server) WarmBoot() {
 	}
 	if err := memo.LoadSnapshot(s.cfg.SnapshotPath); err != nil {
 		if errors.Is(err, memo.ErrCorruptSnapshot) {
-			s.cfg.Logf("serve: %v; starting cold", err)
+			s.log.Warnf("serve: %v; starting cold", err)
 			return
 		}
-		s.cfg.Logf("serve: snapshot load failed: %v; starting cold", err)
+		s.log.Warnf("serve: snapshot load failed: %v; starting cold", err)
 		return
 	}
-	s.cfg.Logf("serve: warm boot from %s", s.cfg.SnapshotPath)
+	s.log.Infof("serve: warm boot from %s", s.cfg.SnapshotPath)
 }
 
 // Checkpoint saves the memo caches to the configured snapshot path.
@@ -602,7 +678,7 @@ func (s *Server) Checkpoint() error {
 	if err := memo.SaveSnapshot(s.cfg.SnapshotPath); err != nil {
 		return err
 	}
-	s.checkpoints.Add(1)
+	s.checkpoints.Inc()
 	return nil
 }
 
@@ -629,7 +705,7 @@ func (s *Server) Run(ctx context.Context, addr string, drainGrace time.Duration)
 	}
 	bound := ln.Addr().String()
 	s.boundAddr.Store(&bound)
-	s.cfg.Logf("serve: listening on %s", bound)
+	s.log.Infof("serve: listening on %s", bound)
 	srv := &http.Server{Handler: s.Handler()}
 
 	checkpointDone := make(chan struct{})
@@ -646,7 +722,7 @@ func (s *Server) Run(ctx context.Context, addr string, drainGrace time.Duration)
 				return
 			case <-t.C:
 				if err := s.Checkpoint(); err != nil {
-					s.cfg.Logf("serve: checkpoint failed: %v", err)
+					s.log.Warnf("serve: checkpoint failed: %v", err)
 				}
 			}
 		}
@@ -655,7 +731,7 @@ func (s *Server) Run(ctx context.Context, addr string, drainGrace time.Duration)
 	shutdownErr := make(chan error, 1)
 	go func() {
 		<-ctx.Done()
-		s.cfg.Logf("serve: draining (grace %s)", drainGrace)
+		s.log.Infof("serve: draining (grace %s)", drainGrace)
 		sctx, cancel := context.WithTimeout(context.Background(), drainGrace)
 		defer cancel()
 		shutdownErr <- srv.Shutdown(sctx)
@@ -668,7 +744,7 @@ func (s *Server) Run(ctx context.Context, addr string, drainGrace time.Duration)
 	err = <-shutdownErr
 	<-checkpointDone
 	if cerr := s.Checkpoint(); cerr != nil {
-		s.cfg.Logf("serve: final checkpoint failed: %v", cerr)
+		s.log.Warnf("serve: final checkpoint failed: %v", cerr)
 	}
 	return err
 }
