@@ -1,7 +1,7 @@
 GO ?= go
 # Benchmark snapshot index: bump per PR so the perf trajectory accumulates
 # (BENCH_1.json, BENCH_2.json, …).
-BENCH_N ?= 8
+BENCH_N ?= 9
 
 .PHONY: all build test vet race bench benchjson benchcheck chaos experiments clean
 
@@ -21,15 +21,17 @@ race:
 	$(GO) test -race ./internal/par/ ./internal/graph/ ./internal/combinat/ ./internal/dist/ ./internal/obs/ .
 
 # The chaos suite under the race detector: fault injection, cancellation,
-# budget trips, leak checks, the hardened service and the distributed sweep
+# budget trips, leak checks, the hardened service, the distributed sweep
 # tier (worker crashes, stragglers, corrupt responses, coordinator
-# kill/restart recovery), each test individually time-boxed so a stuck drain
-# fails fast instead of hanging CI.
+# kill/restart recovery) and the crash-resume matrix (kill-and-restart over
+# solver/homology/dist checkpoints, SIGKILL torn-write atomicity), each test
+# individually time-boxed so a stuck drain fails fast instead of hanging CI.
 chaos:
-	$(GO) test -race -timeout 10m -run 'Chaos|Fault|Cancel|Leak|Budget|Serve|Flight|Snapshot|Deadline|Dist|Ring|Journal|Race|Obs|Trace|Metrics|Log' \
+	$(GO) test -race -timeout 10m -run 'Chaos|Fault|Cancel|Leak|Budget|Serve|Flight|Snapshot|Deadline|Dist|Ring|Journal|Race|Obs|Trace|Metrics|Log|Checkpoint|Resume|Kill|Durable' \
 		./internal/faultinject/ ./internal/par/ ./internal/protocol/ \
 		./internal/model/ ./internal/homology/ ./internal/memo/ \
-		./internal/cli/ ./internal/serve/ ./internal/dist/ ./internal/obs/
+		./internal/cli/ ./internal/serve/ ./internal/dist/ ./internal/obs/ \
+		./internal/checkpoint/
 
 # Smoke-run every benchmark once (also re-validates the E1–E17 tables).
 bench:

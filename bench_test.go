@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"ksettop/internal/bits"
+	"ksettop/internal/checkpoint"
 	"ksettop/internal/combinat"
 	"ksettop/internal/dist"
 	"ksettop/internal/experiments"
@@ -406,6 +407,85 @@ func BenchmarkSolveOneRoundParallel(b *testing.B) {
 		if err != nil || res.Solvable || res.Stats.Tasks == 0 {
 			b.Fatalf("solvable=%v tasks=%d err=%v, want work-stealing impossibility run",
 				res.Solvable, res.Stats.Tasks, err)
+		}
+	}
+}
+
+// BenchmarkCheckpointOverhead mirrors BenchmarkSolveOneRoundParallel with a
+// live checkpoint runner attached (frontier bookkeeping, capture
+// registration, one full checkpoint write per iteration); the pair bounds
+// what durability costs on the hot solve path (budget < 5%).
+func BenchmarkCheckpointOverhead(b *testing.B) {
+	m, err := model.NonEmptyKernelModel(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	all, err := m.AllGraphs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	protocol.SetSearchProbeLimit(16)
+	defer protocol.SetSearchProbeLimit(0)
+	path := filepath.Join(b.TempDir(), "solver.ckpt")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := checkpoint.NewRunner(path, "bench", 0)
+		ctx := checkpoint.WithRunner(context.Background(), r)
+		res, err := protocol.SolveOneRoundCtx(ctx, all, 4, 3, 50_000_000)
+		if err != nil || res.Solvable {
+			b.Fatalf("solvable=%v err=%v, want impossibility", res.Solvable, err)
+		}
+		if err := r.SaveNow(); err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Remove(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkResumeWarm measures only the resumed completion of a refutation
+// killed at its first parallel task — how much of a solve a crash re-pays.
+func BenchmarkResumeWarm(b *testing.B) {
+	m, err := model.NonEmptyKernelModel(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	all, err := m.AllGraphs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	protocol.SetSearchProbeLimit(16)
+	defer protocol.SetSearchProbeLimit(0)
+	path := filepath.Join(b.TempDir(), "solver.ckpt")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		os.Remove(path)
+		r1 := checkpoint.NewRunner(path, "bench", 0)
+		faultinject.Enable(42, faultinject.Rule{
+			Point:  faultinject.PointSolverTask,
+			Nth:    1,
+			Action: faultinject.ActionError,
+		})
+		_, err := protocol.SolveOneRoundCtx(checkpoint.WithRunner(context.Background(), r1),
+			all, 4, 3, 50_000_000)
+		faultinject.Disable()
+		if err == nil {
+			b.Fatal("injected solver kill did not fire")
+		}
+		if err := r1.SaveNow(); err != nil {
+			b.Fatal(err)
+		}
+		r2 := checkpoint.NewRunner(path, "bench", 0)
+		if !r2.LoadForResume() {
+			b.Fatal("checkpoint did not load")
+		}
+		b.StartTimer()
+		res, err := protocol.SolveOneRoundCtx(checkpoint.WithRunner(context.Background(), r2),
+			all, 4, 3, 50_000_000)
+		if err != nil || res.Solvable {
+			b.Fatalf("solvable=%v err=%v, want resumed impossibility", res.Solvable, err)
 		}
 	}
 }

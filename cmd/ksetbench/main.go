@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"ksettop/internal/bits"
+	"ksettop/internal/checkpoint"
 	"ksettop/internal/cli"
 	"ksettop/internal/combinat"
 	"ksettop/internal/dist"
@@ -535,6 +536,98 @@ func benches() []bench {
 				res, err := protocol.SolveOneRoundEngine(all, 4, 3, 100_000, protocol.SearchSeq)
 				if err == nil || res.Solvable {
 					b.Fatalf("want the oracle to exhaust its 100k-node cap, got solvable=%v err=%v", res.Solvable, err)
+				}
+			}
+		}},
+		{"CheckpointOverhead", func(b *testing.B) {
+			// The SolveOneRoundParallel body with a live checkpoint runner
+			// attached: frontier bookkeeping and capture registration during
+			// the solve, plus one full checkpoint write per iteration.
+			// Comparing this row against SolveOneRoundParallel bounds what
+			// durability costs on the hot solve path — the acceptance budget
+			// is < 5%.
+			m, err := model.NonEmptyKernelModel(4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			all, err := m.AllGraphs()
+			if err != nil {
+				b.Fatal(err)
+			}
+			protocol.SetSearchProbeLimit(16)
+			defer protocol.SetSearchProbeLimit(0)
+			dir, err := os.MkdirTemp("", "ksetbench-ckpt")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			path := filepath.Join(dir, "solver.ckpt")
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r := checkpoint.NewRunner(path, "bench", 0)
+				ctx := checkpoint.WithRunner(context.Background(), r)
+				res, err := protocol.SolveOneRoundCtx(ctx, all, 4, 3, protocol.DefaultNodeBudget())
+				if err != nil || res.Solvable {
+					b.Fatalf("solvable=%v err=%v, want impossibility", res.Solvable, err)
+				}
+				if err := r.SaveNow(); err != nil {
+					b.Fatal(err)
+				}
+				if err := r.Remove(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"ResumeWarm", func(b *testing.B) {
+			// Warm-resume latency: a refutation killed at its first parallel
+			// task leaves a checkpoint behind; only the resumed completion is
+			// timed. The row tracks how much of a solve a crash actually
+			// re-pays (restored frontier tasks are skipped, the rest
+			// recomputed).
+			m, err := model.NonEmptyKernelModel(4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			all, err := m.AllGraphs()
+			if err != nil {
+				b.Fatal(err)
+			}
+			protocol.SetSearchProbeLimit(16)
+			defer protocol.SetSearchProbeLimit(0)
+			dir, err := os.MkdirTemp("", "ksetbench-resume")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			path := filepath.Join(dir, "solver.ckpt")
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				os.Remove(path)
+				r1 := checkpoint.NewRunner(path, "bench", 0)
+				faultinject.Enable(42, faultinject.Rule{
+					Point:  faultinject.PointSolverTask,
+					Nth:    1,
+					Action: faultinject.ActionError,
+				})
+				_, err := protocol.SolveOneRoundCtx(checkpoint.WithRunner(context.Background(), r1),
+					all, 4, 3, protocol.DefaultNodeBudget())
+				faultinject.Disable()
+				if err == nil {
+					b.Fatal("injected solver kill did not fire")
+				}
+				if err := r1.SaveNow(); err != nil {
+					b.Fatal(err)
+				}
+				r2 := checkpoint.NewRunner(path, "bench", 0)
+				if !r2.LoadForResume() {
+					b.Fatal("checkpoint did not load")
+				}
+				b.StartTimer()
+				res, err := protocol.SolveOneRoundCtx(checkpoint.WithRunner(context.Background(), r2),
+					all, 4, 3, protocol.DefaultNodeBudget())
+				if err != nil || res.Solvable {
+					b.Fatalf("solvable=%v err=%v, want resumed impossibility", res.Solvable, err)
 				}
 			}
 		}},

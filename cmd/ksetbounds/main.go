@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"ksettop/internal/cli"
 	"ksettop/internal/core"
@@ -32,7 +33,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	spec := flag.String("model", "star:n=4", "model specification (see package doc)")
 	rounds := flag.Int("rounds", 1, "analyze rounds 1..r")
 	verify := flag.Bool("verify", false, "re-check the one-round bounds mechanically")
@@ -45,6 +46,9 @@ func run() error {
 	workers := flag.String("workers", "", cli.WorkersFlagUsage)
 	logLevel := flag.String("log-level", "info", cli.LogLevelFlagUsage)
 	traceOut := flag.String("trace-out", "", cli.TraceOutFlagUsage)
+	checkpointPath := flag.String("checkpoint", "", cli.CheckpointFlagUsage)
+	checkpointInterval := flag.Duration("checkpoint-interval", 30*time.Second, cli.CheckpointIntervalFlagUsage)
+	resume := flag.Bool("resume", false, cli.ResumeFlagUsage)
 	flag.Parse()
 	obs.SetProcessName("ksetbounds")
 	if err := cli.ApplyLogLevelFlag(*logLevel); err != nil {
@@ -56,10 +60,20 @@ func run() error {
 			fmt.Fprintln(os.Stderr, "ksetbounds: trace-out:", err)
 		}
 	}()
+	ctx, stopSignals := cli.SignalContext(context.Background())
+	defer stopSignals()
+	jobKey := cli.JobKey("ksetbounds", *spec, fmt.Sprint(*rounds), fmt.Sprint(*verify),
+		fmt.Sprint(*searchFlag), fmt.Sprint(*solverBudget), fmt.Sprint(*clauseBudget))
+	ctx, ckpt := cli.StartCheckpoint(ctx, *checkpointPath, jobKey, *checkpointInterval, *resume)
+	defer func() {
+		if ferr := cli.FinishDurable(ckpt, *memoSnapshot, err); err == nil {
+			err = ferr
+		}
+	}()
 	par.SetParallelism(*parallelism)
 	if list := cli.SplitWorkers(*workers); len(list) > 0 {
 		coord := dist.NewCoordinator(dist.CoordConfig{Workers: list})
-		coord.Start(context.Background())
+		coord.Start(ctx)
 		model.SetDistributor(coord)
 		defer model.SetDistributor(nil)
 	}

@@ -36,7 +36,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	only := flag.String("only", "", "comma-separated experiment IDs (default all)")
 	parallelism := flag.Int("parallelism", 0, "worker-pool size (0 = KSETTOP_PARALLELISM or GOMAXPROCS)")
 	memoFlag := flag.String("memo", "on", cli.MemoFlagUsage)
@@ -48,6 +48,9 @@ func run() error {
 	workers := flag.String("workers", "", cli.WorkersFlagUsage)
 	logLevel := flag.String("log-level", "info", cli.LogLevelFlagUsage)
 	traceOut := flag.String("trace-out", "", cli.TraceOutFlagUsage)
+	checkpointPath := flag.String("checkpoint", "", cli.CheckpointFlagUsage)
+	checkpointInterval := flag.Duration("checkpoint-interval", 30*time.Second, cli.CheckpointIntervalFlagUsage)
+	resume := flag.Bool("resume", false, cli.ResumeFlagUsage)
 	flag.Parse()
 	obs.SetProcessName("ksetexperiments")
 	if err := cli.ApplyLogLevelFlag(*logLevel); err != nil {
@@ -59,10 +62,20 @@ func run() error {
 			fmt.Fprintln(os.Stderr, "ksetexperiments: trace-out:", err)
 		}
 	}()
+	ctx, stopSignals := cli.SignalContext(context.Background())
+	defer stopSignals()
+	jobKey := cli.JobKey("ksetexperiments", *only, *engineFlag, *searchFlag,
+		fmt.Sprint(*solverBudget), fmt.Sprint(*clauseBudget))
+	ctx, ckpt := cli.StartCheckpoint(ctx, *checkpointPath, jobKey, *checkpointInterval, *resume)
+	defer func() {
+		if ferr := cli.FinishDurable(ckpt, *memoSnapshot, err); err == nil {
+			err = ferr
+		}
+	}()
 	par.SetParallelism(*parallelism)
 	if list := cli.SplitWorkers(*workers); len(list) > 0 {
 		coord := dist.NewCoordinator(dist.CoordConfig{Workers: list})
-		coord.Start(context.Background())
+		coord.Start(ctx)
 		model.SetDistributor(coord)
 		defer model.SetDistributor(nil)
 	}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -31,7 +32,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	spec := flag.String("model", "star:n=4", "model specification (see ksetbounds)")
 	rounds := flag.Int("rounds", 1, "communication rounds")
 	values := flag.Int("values", 0, "number of initial values (default n)")
@@ -52,6 +53,16 @@ func run() error {
 	defer func() {
 		if err := flushTrace(); err != nil {
 			fmt.Fprintln(os.Stderr, "ksetsim: trace-out:", err)
+		}
+	}()
+	// No checkpointable engine here — a SIGINT/SIGTERM still cancels the
+	// sweep promptly (via the runctx base), flushes trace + memo snapshot
+	// through the deferred FinishDurable, and exits ExitInterrupted.
+	_, stopSignals := cli.SignalContext(context.Background())
+	defer stopSignals()
+	defer func() {
+		if ferr := cli.FinishDurable(nil, *memoSnapshot, err); err == nil {
+			err = ferr
 		}
 	}()
 	par.SetParallelism(*parallelism)

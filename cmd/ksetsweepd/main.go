@@ -6,6 +6,7 @@
 //
 //	ksetsweepd -addr :9090
 //	ksetsweepd -addr 127.0.0.1:0 -max-concurrent 4 -max-lease 30s
+//	ksetsweepd -checkpoint shards.ckpt -memo-snapshot memo.snap
 //	ksetsweepd -faults 'delay:dist.exec@1+3:200ms' -fault-seed 42
 //
 // Endpoints:
@@ -32,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"ksettop/internal/checkpoint"
 	"ksettop/internal/cli"
 	"ksettop/internal/dist"
 	"ksettop/internal/faultinject"
@@ -52,6 +54,9 @@ func run() error {
 	maxConcurrent := flag.Int("max-concurrent", 8, "concurrent shard executions admitted before shedding with 503")
 	maxLease := flag.Duration("max-lease", time.Minute, "hard cap on any granted lease duration")
 	drainGrace := flag.Duration("drain-grace", 15*time.Second, "shutdown grace for in-flight shard executions")
+	memoSnapshot := flag.String("memo-snapshot", "", "memo snapshot file: loaded at startup, rewritten every -checkpoint-interval while serving and at drain, so a restarted worker keeps its warm closures (empty = off)")
+	checkpointPath := flag.String("checkpoint", "", "checkpoint file for in-flight shard progress: saved every -checkpoint-interval and at drain, reloaded at startup so re-leased shards resume mid-range (empty = off)")
+	checkpointInterval := flag.Duration("checkpoint-interval", 30*time.Second, "background save cadence for -checkpoint and -memo-snapshot")
 	faults := flag.String("faults", "", "deterministic fault-injection rules, e.g. 'panic:dist.exec@3,corrupt:dist.result@2' (empty = off)")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for the fault-injection schedule")
 	logLevel := flag.String("log-level", "info", cli.LogLevelFlagUsage)
@@ -68,6 +73,9 @@ func run() error {
 	if err := cli.ApplyMemoFlag(*memoFlag); err != nil {
 		return err
 	}
+	if err := cli.LoadMemoSnapshot(*memoSnapshot); err != nil {
+		return err
+	}
 	if *faults != "" {
 		rules, err := faultinject.ParseRules(*faults)
 		if err != nil {
@@ -77,15 +85,54 @@ func run() error {
 		defer faultinject.Disable()
 	}
 
+	// A daemon restart is the resume case by definition, so the checkpoint
+	// is reloaded unconditionally — no -resume flag here.
+	var ckpt *checkpoint.Runner
+	if *checkpointPath != "" {
+		ckpt = checkpoint.NewRunner(*checkpointPath, cli.JobKey("ksetsweepd"), *checkpointInterval)
+		ckpt.LoadForResume()
+		ckpt.Start()
+	}
 	w := dist.NewWorker(dist.WorkerConfig{
 		MaxConcurrent: *maxConcurrent,
 		MaxLease:      *maxLease,
 		EnablePprof:   *pprofFlag,
+		Checkpoint:    ckpt,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// Background memo-snapshot saver: the worker's memoized closures are its
+	// warm state, and waiting for a clean drain to persist them would lose
+	// them to a SIGKILL. Cadence shared with -checkpoint.
+	if *memoSnapshot != "" && *checkpointInterval > 0 {
+		go func() {
+			t := time.NewTicker(*checkpointInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := cli.SaveMemoSnapshot(*memoSnapshot); err != nil {
+						obs.DefaultLogger().Warnf("memo: background snapshot: %v", err)
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
 	err := w.Run(ctx, *addr, *drainGrace)
+	// Drain-time durability: one final shard checkpoint and memo snapshot,
+	// whatever the serve loop's outcome.
+	if ckpt != nil {
+		ckpt.Stop()
+		if serr := ckpt.SaveNow(); serr != nil {
+			obs.DefaultLogger().Warnf("checkpoint: drain save: %v", serr)
+		}
+	}
+	if serr := cli.SaveMemoSnapshot(*memoSnapshot); serr != nil && err == nil {
+		err = serr
+	}
 	if terr := flushTrace(); terr != nil && err == nil {
 		err = terr
 	}

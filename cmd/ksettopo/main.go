@@ -12,8 +12,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"time"
 
 	"ksettop/internal/cli"
 	"ksettop/internal/model"
@@ -28,7 +30,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	spec := flag.String("model", "star:n=3", "model specification (see ksetbounds)")
 	values := flag.Int("values", 2, "input values for the protocol complex")
 	maxDim := flag.Int("maxdim", -1, "homology dimension cap (default n−2)")
@@ -40,12 +42,25 @@ func run() error {
 	clauseBudget := flag.Int("clause-budget", 0, cli.ClauseBudgetFlagUsage)
 	logLevel := flag.String("log-level", "info", cli.LogLevelFlagUsage)
 	traceOut := flag.String("trace-out", "", cli.TraceOutFlagUsage)
+	checkpointPath := flag.String("checkpoint", "", cli.CheckpointFlagUsage)
+	checkpointInterval := flag.Duration("checkpoint-interval", 30*time.Second, cli.CheckpointIntervalFlagUsage)
+	resume := flag.Bool("resume", false, cli.ResumeFlagUsage)
 	flag.Parse()
 	obs.SetProcessName("ksettopo")
 	if err := cli.ApplyLogLevelFlag(*logLevel); err != nil {
 		return err
 	}
 	flushTrace := cli.StartTraceOut(*traceOut)
+	ctx, stopSignals := cli.SignalContext(context.Background())
+	defer stopSignals()
+	jobKey := cli.JobKey("ksettopo", *spec, fmt.Sprint(*values), fmt.Sprint(*maxDim),
+		*engineFlag, fmt.Sprint(*solverBudget), fmt.Sprint(*clauseBudget))
+	_, ckpt := cli.StartCheckpoint(ctx, *checkpointPath, jobKey, *checkpointInterval, *resume)
+	defer func() {
+		if ferr := cli.FinishDurable(ckpt, *memoSnapshot, err); err == nil {
+			err = ferr
+		}
+	}()
 	par.SetParallelism(*parallelism)
 	if err := cli.ApplyMemoFlag(*memoFlag); err != nil {
 		return err

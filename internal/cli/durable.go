@@ -1,0 +1,120 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ksettop/internal/checkpoint"
+	"ksettop/internal/obs"
+	"ksettop/internal/runctx"
+)
+
+// This file is the durable-run surface of the batch CLIs: graceful
+// SIGINT/SIGTERM handling (cancel the root context, flush trace/memo/
+// checkpoint state, exit with a distinct code) and the
+// -checkpoint/-checkpoint-interval/-resume flag plumbing around
+// internal/checkpoint.
+
+// ErrInterrupted is the sentinel a signal-cancelled run's error matches
+// under errors.Is; ExitCode maps it to ExitInterrupted (3).
+var ErrInterrupted = errors.New("cli: interrupted by signal")
+
+// ExitInterrupted is the exit code of a run stopped by SIGINT/SIGTERM after
+// flushing its durable state — distinguishable by scripts and supervisors
+// from generic failures (1) and budget rejections (2).
+const ExitInterrupted = 3
+
+// SignalContext derives a context that is cancelled (with a cause matching
+// ErrInterrupted) on SIGINT or SIGTERM, and installs it as the process-wide
+// runctx base so every engine call — including the non-context entry points
+// the tools reach through core/experiments — aborts promptly. The returned
+// stop function releases the signal handler and resets the base context; a
+// second signal while shutdown is in flight kills the process the default
+// way, so a wedged flush cannot make the tool unkillable.
+func SignalContext(parent context.Context) (context.Context, func()) {
+	ctx, cancel := context.WithCancelCause(parent)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		select {
+		case sig := <-ch:
+			cancel(fmt.Errorf("%w (%v)", ErrInterrupted, sig))
+			signal.Stop(ch) // next signal: default disposition, immediate kill
+		case <-ctx.Done():
+			signal.Stop(ch)
+		}
+	}()
+	runctx.SetBase(ctx)
+	return ctx, func() {
+		signal.Stop(ch)
+		cancel(nil)
+		runctx.SetBase(nil)
+	}
+}
+
+// CheckpointFlagUsage is the shared help text of the -checkpoint flag.
+const CheckpointFlagUsage = "checkpoint file for durable runs: solver/homology/shard progress is persisted every -checkpoint-interval and on SIGINT/SIGTERM (empty = off)"
+
+// CheckpointIntervalFlagUsage is the shared help text of -checkpoint-interval.
+const CheckpointIntervalFlagUsage = "background checkpoint save cadence for -checkpoint"
+
+// ResumeFlagUsage is the shared help text of the -resume flag.
+const ResumeFlagUsage = "resume from the -checkpoint file when it holds a matching interrupted run; corrupt, truncated or foreign files warn and start cold"
+
+// JobKey builds a checkpoint job identity from a tool name and its
+// workload-defining flag values. Checkpoint files carry this key, so a file
+// written by a different tool or workload is rejected at load instead of
+// resumed. Checkpoint control flags (-resume itself, intervals, paths) must
+// NOT be part of the key — adding -resume on the restart command line has to
+// keep the key stable.
+func JobKey(tool string, parts ...string) string {
+	return tool + "|" + strings.Join(parts, "|")
+}
+
+// StartCheckpoint builds the checkpoint runner for a batch run and attaches
+// it to ctx: loads the file for resume when asked, starts the background
+// save ticker, and installs the runner-carrying context as the runctx base
+// (layered on the SignalContext installation). An empty path returns ctx
+// unchanged and a nil runner — every later call on it is a no-op.
+func StartCheckpoint(ctx context.Context, path, jobKey string, interval time.Duration, resume bool) (context.Context, *checkpoint.Runner) {
+	if path == "" {
+		return ctx, nil
+	}
+	r := checkpoint.NewRunner(path, jobKey, interval)
+	if resume {
+		r.LoadForResume()
+	}
+	r.Start()
+	ctx = checkpoint.WithRunner(ctx, r)
+	runctx.SetBase(ctx)
+	return ctx, r
+}
+
+// FinishDurable finalizes a durable batch run. A clean run removes the
+// checkpoint file (a finished job must not be resumed); a failed or
+// interrupted run stops the ticker and flushes one final checkpoint so the
+// state the run died with is on disk, and an interrupted run additionally
+// flushes the memo snapshot the success path would have written. Flush
+// failures are logged at warn level — they never mask the run's own error —
+// and only a failed removal surfaces as the returned error.
+func FinishDurable(r *checkpoint.Runner, memoSnapshot string, runErr error) error {
+	r.Stop()
+	if runErr == nil {
+		return r.Remove()
+	}
+	if err := r.SaveNow(); err != nil {
+		obs.DefaultLogger().Warnf("checkpoint: final save: %v", err)
+	}
+	if errors.Is(runErr, ErrInterrupted) {
+		if err := SaveMemoSnapshot(memoSnapshot); err != nil {
+			obs.DefaultLogger().Warnf("memo: snapshot on interrupt: %v", err)
+		}
+	}
+	return nil
+}

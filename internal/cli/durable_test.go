@@ -1,0 +1,121 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"ksettop/internal/checkpoint"
+	"ksettop/internal/model"
+	"ksettop/internal/protocol"
+	"ksettop/internal/runctx"
+)
+
+func TestDurableExitCodeMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, 0},
+		{errors.New("boom"), 1},
+		{fmt.Errorf("sweep: %w", protocol.ErrBudgetExceeded), 2},
+		{fmt.Errorf("enum: %w", model.ErrEnumerationBudget), 2},
+		{fmt.Errorf("run: %w (SIGINT)", ErrInterrupted), ExitInterrupted},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("ExitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+func TestJobKeyStable(t *testing.T) {
+	if got := JobKey("ksetbounds", "star:n=4", "3"); got != "ksetbounds|star:n=4|3" {
+		t.Fatalf("JobKey = %q", got)
+	}
+	// Checkpoint control flags are excluded by construction: the key is only
+	// what the caller passes, so the same workload with -resume added
+	// produces the same key.
+	if JobKey("t", "a") != JobKey("t", "a") {
+		t.Fatal("JobKey is not deterministic")
+	}
+}
+
+// A SIGINT delivered to the process must cancel the signal context with a
+// cause matching ErrInterrupted, and must reach engines through the runctx
+// base installed by SignalContext.
+func TestSignalContextKillCancelsWithInterrupt(t *testing.T) {
+	ctx, stop := SignalContext(context.Background())
+	defer stop()
+	if runctx.Base() != ctx {
+		t.Fatal("SignalContext did not install the runctx base")
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("SIGINT did not cancel the signal context")
+	}
+	if cause := context.Cause(ctx); !errors.Is(cause, ErrInterrupted) {
+		t.Fatalf("cancellation cause %v does not match ErrInterrupted", cause)
+	}
+	stop()
+	if runctx.Base() == ctx {
+		t.Fatal("stop did not reset the runctx base")
+	}
+}
+
+func TestStartCheckpointEmptyPathIsOff(t *testing.T) {
+	ctx := context.Background()
+	got, r := StartCheckpoint(ctx, "", "job", time.Second, true)
+	if got != ctx || r != nil {
+		t.Fatal("empty -checkpoint must return the context unchanged and a nil runner")
+	}
+	// The whole durable finalization must be a no-op on the nil runner.
+	if err := FinishDurable(r, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := FinishDurable(r, "", errors.New("boom")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFinishDurableSuccessRemovesCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	_, r := StartCheckpoint(context.Background(), path, "job", time.Hour, false)
+	defer runctx.SetBase(nil)
+	r.Register("phase", 1, func() ([]byte, error) { return []byte("state"), nil })
+	if err := r.SaveNow(); err != nil {
+		t.Fatal(err)
+	}
+	if err := FinishDurable(r, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("clean run left checkpoint file behind (stat: %v)", err)
+	}
+}
+
+func TestFinishDurableErrorFlushesCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	_, r := StartCheckpoint(context.Background(), path, "job", time.Hour, false)
+	defer runctx.SetBase(nil)
+	r.Register("phase", 1, func() ([]byte, error) { return []byte("mid-run state"), nil })
+	if err := FinishDurable(r, "", fmt.Errorf("run: %w (SIGTERM)", ErrInterrupted)); err != nil {
+		t.Fatal(err)
+	}
+	secs, err := checkpoint.Load(path, "job")
+	if err != nil {
+		t.Fatalf("interrupted run did not flush a loadable checkpoint: %v", err)
+	}
+	if len(secs) != 1 || secs[0].Name != "phase#1" {
+		t.Fatalf("flushed sections: %+v", secs)
+	}
+}

@@ -149,12 +149,16 @@ func SplitWorkers(value string) []string {
 
 // ExitCode maps a tool's top-level error to its process exit code: typed
 // resource-budget rejections (protocol.ErrBudgetExceeded,
-// model.ErrEnumerationBudget) exit 2 — distinguishable by scripts from the
-// generic failure exit 1 — and everything else exits 1. A nil error is 0.
+// model.ErrEnumerationBudget) exit 2 and signal interruptions
+// (ErrInterrupted, after durable state is flushed) exit ExitInterrupted (3)
+// — both distinguishable by scripts from the generic failure exit 1 — and
+// everything else exits 1. A nil error is 0.
 func ExitCode(err error) int {
 	switch {
 	case err == nil:
 		return 0
+	case errors.Is(err, ErrInterrupted):
+		return ExitInterrupted
 	case errors.Is(err, protocol.ErrBudgetExceeded), errors.Is(err, model.ErrEnumerationBudget):
 		return 2
 	}

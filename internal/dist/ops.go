@@ -46,10 +46,16 @@ const (
 
 // Op is one distributable sweep kind: Run computes a shard payload, Merge
 // folds the per-shard payloads (indexed by shard, ascending) into the final
-// result. Both must be deterministic functions of their inputs.
+// result. Both must be deterministic functions of their inputs. Resume,
+// when set, is Run with durable progress: it initializes from st (a rank
+// position + op-specific partial accumulator recorded by an earlier
+// interrupted execution of the same shard) and writes progress back through
+// it, producing a payload byte-identical to a cold Run. Ops without Resume
+// simply recompute from lo on a checkpointing worker.
 type Op struct {
-	Run   func(ctx context.Context, m *model.ClosedAbove, lo, hi int64) ([]byte, error)
-	Merge func(parts [][]byte) ([]byte, error)
+	Run    func(ctx context.Context, m *model.ClosedAbove, lo, hi int64) ([]byte, error)
+	Resume func(ctx context.Context, m *model.ClosedAbove, lo, hi int64, st *ShardState) ([]byte, error)
+	Merge  func(parts [][]byte) ([]byte, error)
 }
 
 var (
@@ -79,8 +85,8 @@ func LookupOp(name string) (Op, bool) {
 }
 
 func init() {
-	RegisterOp(OpCount, Op{Run: runCount, Merge: mergeCount})
-	RegisterOp(OpEnum, Op{Run: runEnum, Merge: mergeEnum})
+	RegisterOp(OpCount, Op{Run: runCount, Resume: runCountDurable, Merge: mergeCount})
+	RegisterOp(OpEnum, Op{Run: runEnum, Resume: runEnumDurable, Merge: mergeEnum})
 }
 
 // rangeMasksCtx drives e.RangeMasks over [lo, hi) with cooperative

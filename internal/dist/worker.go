@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ksettop/internal/checkpoint"
 	"ksettop/internal/cli"
 	"ksettop/internal/faultinject"
 	"ksettop/internal/model"
@@ -28,6 +29,12 @@ type WorkerConfig struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ (the -pprof
 	// flag on ksetsweepd).
 	EnablePprof bool
+	// Checkpoint, when set, makes shard executions durable: in-flight
+	// progress is recorded into this runner's file on its cadence and on
+	// shutdown, and a restarted worker that is re-leased one of those
+	// shards resumes it mid-range instead of recomputing (the -checkpoint
+	// flag on ksetsweepd). Payloads are byte-identical either way.
+	Checkpoint *checkpoint.Runner
 	// Log receives operational log lines. Default obs.DefaultLogger().
 	Log *obs.Logger
 	// Logf, when set and Log is nil, receives every log line
@@ -73,6 +80,9 @@ type Worker struct {
 	sem   chan struct{}
 	start time.Time
 
+	ckpt   *checkpoint.Runner
+	shards *shardTable
+
 	boundAddr atomic.Pointer[string]
 
 	reg        *obs.Registry
@@ -106,6 +116,18 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		heartbeats: reg.Counter("kset_dist_worker_heartbeats_total",
 			"heartbeat probes answered"),
 		inFlight: reg.Gauge("kset_dist_worker_in_flight", "shards computing now"),
+	}
+	if cfg.Checkpoint != nil {
+		w.ckpt = cfg.Checkpoint
+		w.shards = newShardTable()
+		if payload, ok := w.ckpt.Resume(kindDistShards, distShardsFP()); ok {
+			if err := w.shards.restore(payload); err != nil {
+				w.log.Warnf("dist: shard checkpoint section unusable (%v); starting cold", err)
+			} else {
+				w.log.Infof("dist: restored in-flight shard progress from checkpoint")
+			}
+		}
+		w.ckpt.Register(kindDistShards, distShardsFP(), w.shards.encode)
 	}
 	w.mux.HandleFunc("/dist/v1/exec", w.handleExec)
 	w.mux.HandleFunc("/dist/v1/heartbeat", w.handleHeartbeat)
@@ -256,7 +278,17 @@ func (w *Worker) handleExec(rw http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(execCtx, lease)
 	defer cancel()
 
-	payload, err := op.Run(ctx, m, req.From, req.To)
+	var payload []byte
+	if w.shards != nil && op.Resume != nil {
+		key := shardKey(req)
+		st := w.shards.claim(key, req.From)
+		payload, err = op.Resume(ctx, m, req.From, req.To, st)
+		if st != nil {
+			w.shards.release(key, err == nil)
+		}
+	} else {
+		payload, err = op.Run(ctx, m, req.From, req.To)
+	}
 	if err != nil {
 		w.execErrors.Inc()
 		execSpan.SetAttr("error", err.Error())

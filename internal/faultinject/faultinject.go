@@ -43,6 +43,14 @@ const (
 	PointDistHeartbeat = "dist.heartbeat" // worker: heartbeat handler (error = network partition from the coordinator)
 	PointDistCommit    = "dist.commit"    // coordinator: before a shard commit is journaled (error = coordinator killed at that commit point)
 	PointDistJournal   = "dist.journal"   // coordinator: journal byte stream on warm-restart load
+
+	// Durable-run checkpoint sites (internal/checkpoint). Write/fsync errors
+	// model a full disk or a crash between write and rename; a corrupt rule
+	// on the write point models a torn write that the CRCs must catch at the
+	// next load; the load point models on-disk rot of an existing checkpoint.
+	PointCheckpointWrite = "checkpoint.write" // before the encoded image is written (error = write failure, corrupt = torn write)
+	PointCheckpointFsync = "checkpoint.fsync" // before the temp file is fsynced (error = fsync failure)
+	PointCheckpointLoad  = "checkpoint.load"  // checkpoint byte stream on resume load (error = unreadable file, corrupt = rot)
 )
 
 // Action is what a rule does when it fires.

@@ -44,8 +44,10 @@ import (
 	"context"
 	"fmt"
 
+	"ksettop/internal/checkpoint"
 	"ksettop/internal/obs"
 	"ksettop/internal/par"
+	"ksettop/internal/runctx"
 )
 
 var obsReductions = obs.DefaultRegistry().Counter("kset_homology_reductions_total",
@@ -63,7 +65,7 @@ type Complex interface {
 // with the augmented chain complex, so β̃_0 is (components − 1). The empty
 // complex is rejected, as in the seed implementation.
 func ReducedBetti(c Complex, maxDim int) ([]int, error) {
-	return reducedBettiOf(context.Background(), c, maxDim, false)
+	return reducedBettiOf(runctx.Base(), c, maxDim, false)
 }
 
 // ReducedBettiCtx is ReducedBetti bound to a context: ctx expiry cancels the
@@ -79,7 +81,7 @@ func ReducedBettiCtx(ctx context.Context, c Complex, maxDim int) ([]int, error) 
 // independent cross-check of the hybrid engine (and as the -engine=sparse
 // CLI backend).
 func ReducedBettiSparse(c Complex, maxDim int) ([]int, error) {
-	return reducedBettiOf(context.Background(), c, maxDim, true)
+	return reducedBettiOf(runctx.Base(), c, maxDim, true)
 }
 
 // ReducedBettiSparseCtx is ReducedBettiSparse bound to a context.
@@ -104,7 +106,7 @@ func reducedBettiOf(ctx context.Context, c Complex, maxDim int, sparse bool) ([]
 // columns of the next one, and each matrix is dropped before the next is
 // built.
 func (cc *ChainComplex) ReducedBetti(maxDim int) ([]int, error) {
-	return cc.reducedBetti(context.Background(), maxDim, false)
+	return cc.reducedBetti(runctx.Base(), maxDim, false)
 }
 
 // ReducedBettiCtx is ReducedBetti bound to a context (see the package-level
@@ -115,7 +117,7 @@ func (cc *ChainComplex) ReducedBettiCtx(ctx context.Context, maxDim int) ([]int,
 
 // ReducedBettiSparse is ReducedBetti on the pure-sparse reduction.
 func (cc *ChainComplex) ReducedBettiSparse(maxDim int) ([]int, error) {
-	return cc.reducedBetti(context.Background(), maxDim, true)
+	return cc.reducedBetti(runctx.Base(), maxDim, true)
 }
 
 // ReducedBettiSparseCtx is ReducedBettiSparse bound to a context.
@@ -146,9 +148,38 @@ func (cc *ChainComplex) reducedBetti(ctx context.Context, maxDim int, sparse boo
 	if sparse {
 		engine = "sparse"
 	}
-	for q := maxDim + 1; q >= 1; q-- {
+	// A checkpoint runner on the context makes the reduction durable at
+	// dimension granularity: a staged section with this workload's
+	// fingerprint restarts the loop at the saved dimension with the saved
+	// rank vector and clearing bitmap (see homology_checkpoint.go).
+	runner := checkpoint.FromContext(ctx)
+	startQ := maxDim + 1
+	var prog *reduceProgress
+	if runner != nil {
+		fp := cc.checkpointFingerprint(maxDim, sparse)
+		// Seed the progress record with the initial rank vector so a capture
+		// taken before the first dimension boundary is still a valid
+		// (zero-progress) section rather than one the decoder rejects.
+		prog = &reduceProgress{maxDim: maxDim, sparse: sparse, nextQ: startQ,
+			rank: append([]int(nil), rank...)}
+		if payload, ok := runner.Resume(kindHomologyReduction, fp); ok {
+			restored, err := decodeReduceProgress(payload, cc, maxDim, sparse)
+			if err != nil {
+				obs.DefaultLogger().Warnf("checkpoint: homology section unusable (%v); recomputing", err)
+			} else {
+				prog = restored
+				startQ = restored.nextQ
+				copy(rank, restored.rank)
+				cleared = append([]bool(nil), restored.cleared...)
+			}
+		}
+		unregister := runner.Register(kindHomologyReduction, fp, prog.encode)
+		defer unregister()
+	}
+	for q := startQ; q >= 1; q-- {
 		if cc.levels[q].Count() == 0 {
 			cleared = nil
+			prog.update(q-1, rank, cleared)
 			continue
 		}
 		_, span := obs.StartSpan(ctx, "homology.reduce")
@@ -169,6 +200,7 @@ func (cc *ChainComplex) reducedBetti(ctx context.Context, maxDim int, sparse boo
 		obsReductions.Inc()
 		span.SetInt("rank", int64(rank[q]))
 		span.End()
+		prog.update(q-1, rank, cleared)
 	}
 	betti := make([]int, maxDim+1)
 	for q := 0; q <= maxDim; q++ {

@@ -9,6 +9,7 @@ import (
 	"ksettop/internal/bits"
 	"ksettop/internal/graph"
 	"ksettop/internal/par"
+	"ksettop/internal/runctx"
 )
 
 // DefaultEnumerationBudget bounds the closure rank space swept by
@@ -289,7 +290,7 @@ func (m *ClosedAbove) EnumerationSize() (int64, error) {
 // so the slice is in ascending enumeration rank — identical to a sequential
 // EnumerateGraphs collect, regardless of parallelism.
 func (m *ClosedAbove) AllGraphs() ([]graph.Digraph, error) {
-	return m.AllGraphsCtx(context.Background())
+	return m.AllGraphsCtx(runctx.Base())
 }
 
 // AllGraphsCtx is AllGraphs bound to a context: cancellation stops every
@@ -353,7 +354,7 @@ func (m *ClosedAbove) AllGraphsCtx(ctx context.Context) ([]graph.Digraph, error)
 // of the closures). The count runs on the mask-level fast path, sharded
 // across the worker pool, and is memoized per generator set.
 func (m *ClosedAbove) GraphCount() (int, error) {
-	return m.GraphCountCtx(context.Background())
+	return m.GraphCountCtx(runctx.Base())
 }
 
 // GraphCountCtx is GraphCount bound to a context; a cancelled count returns

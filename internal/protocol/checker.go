@@ -1,9 +1,11 @@
 package protocol
 
 import (
+	"context"
 	"fmt"
 
 	"ksettop/internal/graph"
+	"ksettop/internal/runctx"
 )
 
 // CheckResult summarizes an exhaustive worst-case sweep of an algorithm over
@@ -78,6 +80,11 @@ func WorstCase(roundGraphs []graph.Digraph, numValues, rounds int, algo Algorith
 				return CheckResult{}, err
 			}
 			res.Executions++
+			if res.Executions&0xfff == 0 {
+				if ctx := runctx.Base(); ctx.Err() != nil {
+					return CheckResult{}, fmt.Errorf("protocol: worst-case sweep aborted: %w", context.Cause(ctx))
+				}
+			}
 			if d := r.DistinctCount(); d > res.WorstDistinct {
 				res.WorstDistinct = d
 				res.Witness = Execution{

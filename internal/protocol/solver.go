@@ -8,6 +8,7 @@ import (
 	"ksettop/internal/graph"
 	"ksettop/internal/obs"
 	"ksettop/internal/par"
+	"ksettop/internal/runctx"
 )
 
 var (
@@ -81,7 +82,7 @@ type SolveResult struct {
 // The search is exponential; nodeBudget bounds explored nodes (error when
 // exhausted).
 func SolveOneRound(roundGraphs []graph.Digraph, numValues, k, nodeBudget int) (SolveResult, error) {
-	return SolveOneRoundEngineCtx(context.Background(), roundGraphs, numValues, k, nodeBudget, CurrentSearchEngine())
+	return SolveOneRoundEngineCtx(runctx.Base(), roundGraphs, numValues, k, nodeBudget, CurrentSearchEngine())
 }
 
 // SolveOneRoundCtx is SolveOneRound bound to a context: cancellation or
@@ -97,7 +98,7 @@ func SolveOneRoundCtx(ctx context.Context, roundGraphs []graph.Digraph, numValue
 // for callers (cross-checks, experiments) that must not flip the
 // process-wide SetSearchEngine state under concurrent solves.
 func SolveOneRoundEngine(roundGraphs []graph.Digraph, numValues, k, nodeBudget int, engine SearchEngine) (SolveResult, error) {
-	return SolveOneRoundEngineCtx(context.Background(), roundGraphs, numValues, k, nodeBudget, engine)
+	return SolveOneRoundEngineCtx(runctx.Base(), roundGraphs, numValues, k, nodeBudget, engine)
 }
 
 // SolveOneRoundEngineCtx is the context-aware engine-pinned entry the other

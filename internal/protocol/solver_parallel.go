@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ksettop/internal/checkpoint"
 	"ksettop/internal/faultinject"
 	"ksettop/internal/obs"
 	"ksettop/internal/par"
@@ -404,6 +405,40 @@ type parallelRun struct {
 	stash     []taskRecord
 	prefixSum int
 	acctDone  bool
+
+	// Checkpoint bookkeeping (under mu). frontier holds every queued or
+	// running task by path — exactly the prefixes a resumed run must
+	// re-execute; record() retires an entry when its task reaches a
+	// deterministic conclusion, but a CANCELLED task stays on the frontier
+	// (its outcome is schedule-dependent, so resume re-runs it). known is
+	// only set on a resumed sweep: the restored record and frontier paths,
+	// consulted by the spawn hook so a re-executed parent does not re-spawn
+	// a child the checkpoint already accounted for.
+	frontier map[string]searchTask
+	known    map[string]bool
+}
+
+// addFrontier registers a task as pending (sorted insert for the budget
+// accounting) and tracks it on the checkpoint frontier.
+func (pr *parallelRun) addFrontier(task searchTask) {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	i := sort.Search(len(pr.pending), func(i int) bool { return !pathLess(pr.pending[i], task.path) })
+	pr.pending = append(pr.pending, nil)
+	copy(pr.pending[i+1:], pr.pending[i:])
+	pr.pending[i] = task.path
+	pr.frontier[string(task.path)] = task
+}
+
+// frontierSorted returns the open frontier in lexicographic path order for
+// deterministic checkpoint encoding. Caller holds pr.mu.
+func (pr *parallelRun) frontierSorted() []searchTask {
+	out := make([]searchTask, 0, len(pr.frontier))
+	for _, task := range pr.frontier {
+		out = append(out, task)
+	}
+	sort.Slice(out, func(i, j int) bool { return pathLess(out[i].path, out[j].path) })
+	return out
 }
 
 // cancelledFor reports whether a task rooted at path is dominated by an
@@ -422,19 +457,6 @@ func (pr *parallelRun) publishBoundLocked(path []uint8) {
 	}
 }
 
-// registerPending adds a task path to the pending set, keeping it sorted.
-// Initial tasks are registered before the sweep starts; spawned children
-// are registered by the spawn hook BEFORE they reach the deque, so the
-// pending set can never miss a task that sorts below a finished record.
-func (pr *parallelRun) registerPending(path []uint8) {
-	pr.mu.Lock()
-	defer pr.mu.Unlock()
-	i := sort.Search(len(pr.pending), func(i int) bool { return !pathLess(pr.pending[i], path) })
-	pr.pending = append(pr.pending, nil)
-	copy(pr.pending[i+1:], pr.pending[i:])
-	pr.pending[i] = path
-}
-
 // record stores a task outcome, removes it from the pending set, publishes
 // its path as the new bound when it is a terminal event ranked below the
 // current one, and folds newly-chargeable records into the live budget
@@ -446,6 +468,11 @@ func (pr *parallelRun) record(r taskRecord) {
 	i := sort.Search(len(pr.pending), func(i int) bool { return !pathLess(pr.pending[i], r.path) })
 	if i < len(pr.pending) && !pathLess(r.path, pr.pending[i]) {
 		pr.pending = append(pr.pending[:i], pr.pending[i+1:]...)
+	}
+	if r.status != taskCancelled {
+		// Deterministic conclusion reached: the task leaves the checkpoint
+		// frontier. Cancelled tasks stay — a resumed run re-executes them.
+		delete(pr.frontier, string(r.path))
 	}
 	if r.status == taskWitness || r.status == taskBudget {
 		pr.publishBoundLocked(r.path)
@@ -564,7 +591,13 @@ func (pr *parallelRun) runTask(task searchTask, d *par.Deque) {
 			path:      append(append([]uint8(nil), task.path...), pathSuffix...),
 			decisions: append(append([]int32(nil), task.decisions...), decisions...),
 		}
-		pr.registerPending(child.path)
+		if pr.known[string(child.path)] {
+			// Resumed sweep: the checkpoint already carries this child as a
+			// restored record or frontier task, so re-spawning it would
+			// double-count its deterministic outcome.
+			return
+		}
+		pr.addFrontier(child)
 		d.Spawn(func(dd *par.Deque) { pr.runTask(child, dd) })
 	}
 	rec := taskRecord{path: task.path}
@@ -618,43 +651,81 @@ func solveParallel(ctx context.Context, t *solveTables, budget int) (parallelRes
 		ctl.StopCause(context.Cause(ctx))
 		return res, cancelCause(ctl, ctx)
 	}
-	shared := newSharedNogoodStore(len(t.views), t.numValues)
-	var probeStop func(int) bool
-	if ctx != nil && ctx.Done() != nil {
-		probeStop = func(int) bool { return ctl.Stopped() }
-	}
-	_, probeSpan := obs.StartSpan(ctx, "solver.probe")
-	po := probe(t, shared, budget, probeStop)
-	res.nodes = po.nodes
-	res.stats.ProbeNodes = po.nodes
-	res.stats.SharedNogoods = shared.count()
-	probeSpan.SetInt("nodes", int64(po.nodes))
-	probeSpan.SetInt("shared_nogoods", int64(res.stats.SharedNogoods))
-	probeSpan.End()
-	switch po.status {
-	case statusSolved:
-		res.solved = true
-		res.decided = append([]Value(nil), po.state.decided...)
-		return res, nil
-	case statusRefuted:
-		return res, nil
-	case statusCancelled:
-		return res, cancelCause(ctl, ctx)
-	}
-	if po.nodes >= budget {
-		return res, errBudget(budget, res.nodes)
+	// A checkpoint runner on the context arms durable sweeps: a staged
+	// section with this workload's fingerprint resumes the frozen store,
+	// finished records and open frontier; otherwise the sweep registers a
+	// capture so periodic (and final) saves persist its progress.
+	runner := checkpoint.FromContext(ctx)
+	var ckptFP uint64
+	var resumed *solverCkptState
+	if runner != nil {
+		ckptFP = solverFingerprint(t, budget)
+		if payload, ok := runner.Resume(kindSolverFrontier, ckptFP); ok {
+			st, err := decodeSolverCheckpoint(payload, t)
+			if err != nil {
+				obs.DefaultLogger().Warnf("checkpoint: solver section unusable (%v); recomputing", err)
+			} else {
+				resumed = st
+			}
+		}
 	}
 
-	// The probe hit its limit: freeze the shared store and go wide.
-	_, decompSpan := obs.StartSpan(ctx, "solver.decompose")
-	tasks, records, prefixNodes := decompose(t, shared)
-	decompSpan.SetInt("tasks", int64(len(tasks)))
-	decompSpan.SetInt("prefix_nodes", int64(prefixNodes))
-	decompSpan.End()
-	res.stats.PrefixNodes = prefixNodes
-	res.nodes += prefixNodes
-	if res.nodes >= budget {
-		return res, errBudget(budget, res.nodes)
+	var shared *nogoodStore
+	var tasks []searchTask
+	var records []taskRecord
+	var prefixNodes int
+	if resumed != nil {
+		// The probe and decomposition are already paid for: their node
+		// counters, the frozen store and the open frontier all come from the
+		// checkpoint, and the restored frontier tasks re-run to the same
+		// deterministic outcomes the interrupted sweep would have produced.
+		shared = resumed.shared
+		tasks = resumed.frontier
+		records = resumed.records
+		prefixNodes = resumed.prefixNodes
+		res.nodes = resumed.probeNodes + prefixNodes
+		res.stats.ProbeNodes = resumed.probeNodes
+		res.stats.PrefixNodes = prefixNodes
+		res.stats.SharedNogoods = shared.count()
+	} else {
+		shared = newSharedNogoodStore(len(t.views), t.numValues)
+		var probeStop func(int) bool
+		if ctx != nil && ctx.Done() != nil {
+			probeStop = func(int) bool { return ctl.Stopped() }
+		}
+		_, probeSpan := obs.StartSpan(ctx, "solver.probe")
+		po := probe(t, shared, budget, probeStop)
+		res.nodes = po.nodes
+		res.stats.ProbeNodes = po.nodes
+		res.stats.SharedNogoods = shared.count()
+		probeSpan.SetInt("nodes", int64(po.nodes))
+		probeSpan.SetInt("shared_nogoods", int64(res.stats.SharedNogoods))
+		probeSpan.End()
+		switch po.status {
+		case statusSolved:
+			res.solved = true
+			res.decided = append([]Value(nil), po.state.decided...)
+			return res, nil
+		case statusRefuted:
+			return res, nil
+		case statusCancelled:
+			return res, cancelCause(ctl, ctx)
+		}
+		if po.nodes >= budget {
+			return res, errBudget(budget, res.nodes)
+		}
+
+		// The probe hit its limit: freeze the shared store and go wide.
+		_, decompSpan := obs.StartSpan(ctx, "solver.decompose")
+		tasks, records, prefixNodes = decompose(t, shared)
+		decompSpan.SetInt("tasks", int64(len(tasks)))
+		decompSpan.SetInt("prefix_nodes", int64(prefixNodes))
+		decompSpan.End()
+		res.stats.PrefixNodes = prefixNodes
+		res.nodes += prefixNodes
+		if res.nodes >= budget {
+			return res, errBudget(budget, res.nodes)
+		}
 	}
 	// Budget semantics in the parallel phase: every task gets the full
 	// remaining budget as its PRIVATE cap, and the rank-ordered reduction
@@ -674,20 +745,45 @@ func solveParallel(ctx context.Context, t *solveTables, budget int) (parallelRes
 		ctl:       ctl,
 		records:   records,
 		prefixSum: res.nodes,
+		frontier:  make(map[string]searchTask, len(tasks)),
 	}
-	// Witnesses found during decomposition bound the sweep from the start
-	// and seed the accounting stash (they are settled records).
+	// Witnesses found during decomposition — and, on resume, every restored
+	// terminal record — bound the sweep from the start and seed the
+	// accounting stash (they are settled records).
 	for _, r := range records {
-		pr.publishBoundLocked(r.path)
+		if r.status == taskWitness || r.status == taskBudget {
+			pr.publishBoundLocked(r.path)
+		}
 		pr.stash = append(pr.stash, r)
+	}
+	if resumed != nil {
+		pr.known = make(map[string]bool, len(records)+len(tasks))
+		for _, r := range records {
+			pr.known[string(r.path)] = true
+		}
+		for _, task := range tasks {
+			pr.known[string(task.path)] = true
+		}
 	}
 	sort.Slice(pr.stash, func(i, j int) bool { return pathLess(pr.stash[i].path, pr.stash[j].path) })
 	sort.Slice(tasks, func(i, j int) bool { return pathLess(tasks[i].path, tasks[j].path) })
 	deqTasks := make([]par.Task, len(tasks))
 	for i, task := range tasks {
 		task := task
-		pr.registerPending(task.path)
+		pr.addFrontier(task)
 		deqTasks[i] = func(d *par.Deque) { pr.runTask(task, d) }
+	}
+	if runner != nil {
+		// The frozen store never changes during the sweep, so it is encoded
+		// once; each capture only re-encodes records and frontier. The
+		// unregister retains the final capture, so the CLI's last SaveNow on
+		// an interrupt persists the exact state the sweep stopped in.
+		sharedBytes := encodeSharedStore(shared)
+		probeNodes := res.stats.ProbeNodes
+		unregister := runner.Register(kindSolverFrontier, ckptFP, func() ([]byte, error) {
+			return pr.encodeCheckpoint(probeNodes, prefixNodes, sharedBytes), nil
+		})
+		defer unregister()
 	}
 	sweepCtx, sweepSpan := obs.StartSpan(ctx, "solver.sweep")
 	sweepSpan.SetInt("tasks", int64(len(deqTasks)))

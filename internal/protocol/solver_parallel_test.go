@@ -413,13 +413,14 @@ func TestPooledStateCleanAfterWitnessTask(t *testing.T) {
 		valueOrder: []Value{0, 1},
 	}
 	pr := &parallelRun{
-		tables:  tables,
-		shared:  newNogoodStore(len(tables.views), tables.numValues, maxSharedNogoods, maxNogoodLen),
-		taskCap: 1000,
-		budget:  1000,
-		ctl:     &par.Ctl{},
+		tables:   tables,
+		shared:   newNogoodStore(len(tables.views), tables.numValues, maxSharedNogoods, maxNogoodLen),
+		taskCap:  1000,
+		budget:   1000,
+		ctl:      &par.Ctl{},
+		frontier: make(map[string]searchTask),
 	}
-	pr.registerPending(nil)
+	pr.addFrontier(searchTask{})
 	pr.runTask(searchTask{}, nil)
 	if len(pr.records) != 1 || pr.records[0].status != taskWitness {
 		t.Fatalf("expected a witness record, got %+v", pr.records)

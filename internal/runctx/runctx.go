@@ -1,0 +1,40 @@
+// Package runctx holds the process-wide base context of the batch CLIs.
+//
+// The engines all have context-aware entry points, but a lot of existing
+// surface (core.Analyze, experiments.RunAll, the non-Ctx wrappers) predates
+// them and would need a signature sweep to thread a context everywhere. The
+// tools instead install their signal-cancelled root context here at startup;
+// the non-Ctx engine wrappers use Base() instead of context.Background(), so
+// SIGINT/SIGTERM cancellation and the checkpoint runner reach every engine
+// call in the process without touching those signatures.
+//
+// Library/test use never installs anything, so Base() is context.Background()
+// and behavior is unchanged.
+package runctx
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+var base atomic.Pointer[context.Context]
+
+// SetBase installs ctx as the process-wide base context. Passing nil resets
+// to context.Background(). Called once at tool startup, before any engine
+// work; not intended for concurrent reinstallation mid-run.
+func SetBase(ctx context.Context) {
+	if ctx == nil {
+		base.Store(nil)
+		return
+	}
+	base.Store(&ctx)
+}
+
+// Base returns the installed base context, or context.Background() when no
+// tool installed one.
+func Base() context.Context {
+	if p := base.Load(); p != nil {
+		return *p
+	}
+	return context.Background()
+}

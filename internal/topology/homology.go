@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"ksettop/internal/homology"
+	"ksettop/internal/runctx"
 )
 
 // HomologyEngine selects the GF(2) reduction backend behind
@@ -59,7 +60,7 @@ func SetHomologyEngine(e HomologyEngine) { homologyEngine.Store(int32(e)) }
 // default; SetHomologyEngine(EngineSparse) selects the pure-sparse PR-3
 // reduction and SetHomologyEngine(EnginePacked) restores the seed oracle.
 func ReducedBettiNumbers(c *AbstractComplex, maxDim int) ([]int, error) {
-	return ReducedBettiNumbersCtx(context.Background(), c, maxDim)
+	return ReducedBettiNumbersCtx(runctx.Base(), c, maxDim)
 }
 
 // ReducedBettiNumbersCtx is ReducedBettiNumbers bound to a context: ctx
@@ -94,7 +95,7 @@ func ReducedBettiNumbersCtx(ctx context.Context, c *AbstractComplex, maxDim int)
 // oracle has no level-table form, so under EnginePacked this falls back to
 // the complex itself.
 func ReducedBettiNumbersFromLevels(c *AbstractComplex, levels [][][]int, maxDim int) ([]int, error) {
-	return ReducedBettiNumbersFromLevelsCtx(context.Background(), c, levels, maxDim)
+	return ReducedBettiNumbersFromLevelsCtx(runctx.Base(), c, levels, maxDim)
 }
 
 // ReducedBettiNumbersFromLevelsCtx is ReducedBettiNumbersFromLevels bound to
