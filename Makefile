@@ -1,7 +1,7 @@
 GO ?= go
 # Benchmark snapshot index: bump per PR so the perf trajectory accumulates
 # (BENCH_1.json, BENCH_2.json, …).
-BENCH_N ?= 9
+BENCH_N ?= 10
 
 .PHONY: all build test vet race bench benchjson benchcheck chaos experiments clean
 
@@ -22,12 +22,13 @@ race:
 
 # The chaos suite under the race detector: fault injection, cancellation,
 # budget trips, leak checks, the hardened service, the distributed sweep
-# tier (worker crashes, stragglers, corrupt responses, coordinator
+# tier (worker crashes, stragglers, corrupt responses, Byzantine liars with
+# quorum cross-validation + quarantine + degraded serving, coordinator
 # kill/restart recovery) and the crash-resume matrix (kill-and-restart over
 # solver/homology/dist checkpoints, SIGKILL torn-write atomicity), each test
 # individually time-boxed so a stuck drain fails fast instead of hanging CI.
 chaos:
-	$(GO) test -race -timeout 10m -run 'Chaos|Fault|Cancel|Leak|Budget|Serve|Flight|Snapshot|Deadline|Dist|Ring|Journal|Race|Obs|Trace|Metrics|Log|Checkpoint|Resume|Kill|Durable' \
+	$(GO) test -race -timeout 10m -run 'Chaos|Fault|Cancel|Leak|Budget|Serve|Flight|Snapshot|Deadline|Dist|Ring|Journal|Race|Obs|Trace|Metrics|Log|Checkpoint|Resume|Kill|Durable|Byzantine|Lie|Quarantine|Verify|Degrade|Duplicate|PickWorker|ProbeInterval' \
 		./internal/faultinject/ ./internal/par/ ./internal/protocol/ \
 		./internal/model/ ./internal/homology/ ./internal/memo/ \
 		./internal/cli/ ./internal/serve/ ./internal/dist/ ./internal/obs/ \

@@ -585,6 +585,37 @@ func BenchmarkDistSweepCount(b *testing.B) {
 	}
 }
 
+// BenchmarkDistQuorumVerify mirrors the ksetbench DistQuorumVerify row: the
+// DistSweepCount sweep with VerifyFraction 1 on an honest fleet — the price
+// of re-executing every committed shard on a distinct replica and
+// byte-comparing before the merge.
+func BenchmarkDistQuorumVerify(b *testing.B) {
+	workers, stop := benchDistWorkers(b, 3)
+	defer stop()
+	job := dist.Job{Op: dist.OpCount, Model: "star:n=5"}
+	want, err := dist.RunSequential(context.Background(), job)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := dist.NewCoordinator(dist.CoordConfig{
+		Workers:        workers,
+		Shards:         24,
+		DisableHedging: true,
+		VerifyFraction: 1,
+		Logf:           func(string, ...any) {},
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		got, err := c.Run(context.Background(), job)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			b.Fatal("verified sweep differs from sequential reference")
+		}
+	}
+}
+
 // BenchmarkDistRecovery mirrors the ksetbench DistRecovery row: the timed
 // portion is a coordinator warm-restart on a journal holding 11 of 24 shard
 // commits (the untimed setup kills a fresh coordinator at the 12th commit).

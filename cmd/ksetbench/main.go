@@ -778,6 +778,38 @@ func benches() []bench {
 				}
 			}
 		}},
+		{"DistQuorumVerify", func(b *testing.B) {
+			// The Byzantine-defense overhead ceiling: the same coordinated
+			// count sweep as DistSweepCount but with VerifyFraction 1 —
+			// every committed shard re-executed on a distinct replica and
+			// byte-compared before the merge. An honest fleet, so the row
+			// prices pure cross-validation (second executions + vote
+			// bookkeeping), not conviction or degraded serving.
+			workers, stop := benchWorkers(3)
+			defer stop()
+			job := dist.Job{Op: dist.OpCount, Model: "star:n=5"}
+			want, err := dist.RunSequential(context.Background(), job)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c := dist.NewCoordinator(dist.CoordConfig{
+				Workers:        workers,
+				Shards:         24,
+				DisableHedging: true,
+				VerifyFraction: 1,
+				Logf:           func(string, ...any) {},
+			})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				got, err := c.Run(context.Background(), job)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					b.Fatal("verified sweep differs from sequential reference")
+				}
+			}
+		}},
 		{"DistRecovery", func(b *testing.B) {
 			// Warm-restart recovery: a coordinator killed after journaling
 			// 11 of 24 shard commits restarts on the same journal and

@@ -44,6 +44,8 @@ func run() (err error) {
 	clauseBudget := flag.Int("clause-budget", 0, cli.ClauseBudgetFlagUsage)
 	memoSnapshot := flag.String("memo-snapshot", "", cli.MemoSnapshotUsage)
 	workers := flag.String("workers", "", cli.WorkersFlagUsage)
+	verifyFraction := flag.Float64("verify-fraction", 0, cli.VerifyFractionFlagUsage)
+	quarantineThreshold := flag.Float64("quarantine-threshold", 0, cli.QuarantineThresholdFlagUsage)
 	logLevel := flag.String("log-level", "info", cli.LogLevelFlagUsage)
 	traceOut := flag.String("trace-out", "", cli.TraceOutFlagUsage)
 	checkpointPath := flag.String("checkpoint", "", cli.CheckpointFlagUsage)
@@ -72,7 +74,11 @@ func run() (err error) {
 	}()
 	par.SetParallelism(*parallelism)
 	if list := cli.SplitWorkers(*workers); len(list) > 0 {
-		coord := dist.NewCoordinator(dist.CoordConfig{Workers: list})
+		coord := dist.NewCoordinator(dist.CoordConfig{
+			Workers:             list,
+			VerifyFraction:      *verifyFraction,
+			QuarantineThreshold: *quarantineThreshold,
+		})
 		coord.Start(ctx)
 		model.SetDistributor(coord)
 		defer model.SetDistributor(nil)

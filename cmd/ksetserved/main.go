@@ -24,7 +24,13 @@
 // closure-count sweeps are sharded across the named ksetsweepd workers
 // (consistent-hash placement, lease/heartbeat failure detection, straggler
 // hedging, optional crash-recovery journal via -dist-journal), falling back
-// to the local engine when the fleet is unavailable.
+// to the local engine when the fleet is unavailable. The fleet is not
+// assumed honest: -verify-fraction re-executes a sample of committed shards
+// on distinct replicas and settles disagreements by quorum majority with a
+// local recompute as arbiter, and workers whose divergence score crosses
+// -quarantine-threshold are quarantined from placement until a half-open
+// known-answer probe re-admits them; when live trusted workers run out, the
+// daemon degrades to local compute rather than serve untrusted bytes.
 //
 // The daemon admission-controls concurrency (503 on overload), enforces
 // per-request deadlines (504), returns typed budget rejections (422),
@@ -80,6 +86,8 @@ func run() error {
 	distShards := flag.Int("dist-shards", 0, "shards per distributed sweep (0 = 8 × workers)")
 	distLease := flag.Duration("dist-lease", 15*time.Second, "shard lease TTL before a grant is forfeited and re-dispatched")
 	distJournal := flag.String("dist-journal", "", "shard-commit journal file for coordinator crash recovery (empty = off)")
+	verifyFraction := flag.Float64("verify-fraction", 0, cli.VerifyFractionFlagUsage)
+	quarantineThreshold := flag.Float64("quarantine-threshold", 0, cli.QuarantineThresholdFlagUsage)
 	logLevel := flag.String("log-level", "info", cli.LogLevelFlagUsage)
 	traceOut := flag.String("trace-out", "", cli.TraceOutFlagUsage)
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -112,10 +120,12 @@ func run() error {
 	var coord *dist.Coordinator
 	if list := cli.SplitWorkers(*workers); len(list) > 0 {
 		coord = dist.NewCoordinator(dist.CoordConfig{
-			Workers:     list,
-			Shards:      *distShards,
-			LeaseTTL:    *distLease,
-			JournalPath: *distJournal,
+			Workers:             list,
+			Shards:              *distShards,
+			LeaseTTL:            *distLease,
+			JournalPath:         *distJournal,
+			VerifyFraction:      *verifyFraction,
+			QuarantineThreshold: *quarantineThreshold,
 		})
 		model.SetDistributor(coord)
 	}

@@ -50,14 +50,16 @@ func TestDistChaosMatrix(t *testing.T) {
 	}
 }
 
-// A corrupt response must NEVER reach the merge: arm corruption on every
-// response and the sweep must fail (attempts exhausted) rather than return
-// wrong bytes.
+// A corrupt response must NEVER reach the merge. With the trust layer
+// disabled (legacy semantics), a fully corrupt fleet exhausts attempts and
+// the sweep fails rather than return wrong bytes.
 func TestDistCorruptionNeverMerges(t *testing.T) {
 	workers := startWorkers(t, 2, WorkerConfig{Logf: func(string, ...any) {}})
 	cfg := testCoordConfig(workers)
 	cfg.Shards = 4
 	cfg.MaxAttempts = 3
+	cfg.QuarantineThreshold = -1 // legacy: no quarantine, no degrade path
+	cfg.DisableDegrade = true
 	c := NewCoordinator(cfg)
 	armFaults(t, 42, "corrupt:dist.result@1+1") // every response lies
 	_, err := c.Run(context.Background(), Job{Op: OpEnum, Model: "star:n=4"})
@@ -66,6 +68,34 @@ func TestDistCorruptionNeverMerges(t *testing.T) {
 	}
 	if st := c.Stats(); st.CorruptResponses == 0 {
 		t.Fatalf("corruption undetected; stats %+v", st)
+	}
+}
+
+// With the trust layer on (the default), the same fully corrupt fleet is
+// quarantined worker by worker and the sweep degrades to local compute —
+// reference bytes instead of an error.
+func TestDistCorruptFleetQuarantinedAndDegrades(t *testing.T) {
+	job := Job{Op: OpEnum, Model: "star:n=4"}
+	want, err := RunSequential(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := startWorkers(t, 2, WorkerConfig{Logf: func(string, ...any) {}})
+	cfg := testCoordConfig(workers)
+	cfg.Shards = 4
+	cfg.MaxAttempts = 40 // quarantine must trip long before attempts exhaust
+	c := NewCoordinator(cfg)
+	armFaults(t, 42, "corrupt:dist.result@1+1") // every response lies
+	got, err := c.Run(context.Background(), job)
+	if err != nil {
+		t.Fatalf("degraded sweep failed: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("degraded sweep differs from sequential reference")
+	}
+	st := c.Stats()
+	if st.CorruptResponses == 0 || st.QuarantineTrips != 2 || st.DegradedSweeps != 1 {
+		t.Fatalf("expected both workers quarantined and one degraded sweep; stats %+v", st)
 	}
 }
 

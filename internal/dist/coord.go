@@ -62,8 +62,35 @@ type CoordConfig struct {
 	// distributor-initiated sweeps; 0 = unlimited.
 	SweepBudget int64
 	// NoWorkerGrace is how long a sweep waits with zero live workers before
-	// failing. Default 10s.
+	// degrading to local compute (or failing, with DisableDegrade). Default
+	// 10s.
 	NoWorkerGrace time.Duration
+	// VerifyFraction ∈ [0, 1] is the deterministic fraction of committed
+	// shards re-executed on a distinct ring replica before the merge, the
+	// Byzantine cross-validation a CRC check cannot provide. 0 disables
+	// verification (shards flagged by a disagreeing duplicate are still
+	// verified).
+	VerifyFraction float64
+	// QuorumReplicas is how many distinct per-worker results a divergence
+	// majority vote needs before it can decide; short of replicas, a local
+	// recompute arbitrates. Default 3.
+	QuorumReplicas int
+	// QuarantineThreshold is the per-worker divergence score that trips
+	// quarantine (divergences count 1.0, corrupt responses 1.0, transport
+	// failures 0.25, successes decay 0.5). 0 selects the default 3;
+	// negative disables quarantine entirely.
+	QuarantineThreshold float64
+	// QuarantineBackoff/QuarantineBackoffMax shape the half-open probe
+	// schedule of a quarantined worker: base × 2^(trips−1), capped.
+	// Defaults 1s / 5m.
+	QuarantineBackoff    time.Duration
+	QuarantineBackoffMax time.Duration
+	// DegradeFloor is the minimum live-and-trusted worker count below which
+	// a sweep degrades to local compute. Default 1.
+	DegradeFloor int
+	// DisableDegrade makes a sweep fail instead of degrading to local
+	// compute when the trusted fleet falls below the floor.
+	DisableDegrade bool
 	// Seed drives the deterministic retry jitter. Default 1.
 	Seed uint64
 	// JournalPath, when set, journals shard commits so a killed coordinator
@@ -118,6 +145,27 @@ func (c CoordConfig) withDefaults() CoordConfig {
 	if c.NoWorkerGrace <= 0 {
 		c.NoWorkerGrace = 10 * time.Second
 	}
+	if c.VerifyFraction < 0 {
+		c.VerifyFraction = 0
+	}
+	if c.VerifyFraction > 1 {
+		c.VerifyFraction = 1
+	}
+	if c.QuorumReplicas <= 0 {
+		c.QuorumReplicas = 3
+	}
+	if c.QuarantineThreshold == 0 {
+		c.QuarantineThreshold = 3
+	}
+	if c.QuarantineBackoff <= 0 {
+		c.QuarantineBackoff = time.Second
+	}
+	if c.QuarantineBackoffMax <= 0 {
+		c.QuarantineBackoffMax = 5 * time.Minute
+	}
+	if c.DegradeFloor <= 0 {
+		c.DegradeFloor = 1
+	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
@@ -155,6 +203,20 @@ type CoordStats struct {
 	JournalResumes       uint64 `json:"journal_resumes"`        // sweeps warm-restarted from a journal
 	JournalSkips         uint64 `json:"journal_skips"`          // shards recovered from the journal (not recomputed)
 	BudgetTrips          uint64 `json:"budget_trips"`           // sweeps stopped by the shared budget
+
+	// Byzantine trust layer.
+	VerifySelected         uint64 `json:"verify_selected"`         // shards flagged for cross-validation
+	VerifyOK               uint64 `json:"verify_ok"`               // verifications settled by an agreeing replica
+	VerifyMismatches       uint64 `json:"verify_mismatches"`       // verification replicas disagreeing with the commit
+	VerifyQuorumVotes      uint64 `json:"verify_quorum_votes"`     // verification replica votes collected
+	VerifyLocalArbiter     uint64 `json:"verify_local_arbiter"`    // verifications arbitrated by local recompute
+	VerifyOverturned       uint64 `json:"verify_overturned"`       // committed shard results replaced by the decided truth
+	DivergenceEvents       uint64 `json:"divergence_events"`       // byte-divergence events observed (duplicates + verification)
+	QuarantineTrips        uint64 `json:"quarantine_trips"`        // workers tripped into quarantine
+	QuarantineProbes       uint64 `json:"quarantine_probes"`       // half-open re-admission probes sent
+	QuarantineReadmissions uint64 `json:"quarantine_readmissions"` // quarantined workers re-admitted
+	QuarantinedWorkers     int    `json:"quarantined_workers"`     // workers quarantined now
+	DegradedSweeps         uint64 `json:"degraded_sweeps"`         // sweeps (or counts) served by local compute below the trust floor
 }
 
 // Coordinator drives distributed sweeps over a fixed worker set, detecting
@@ -171,6 +233,7 @@ type Coordinator struct {
 
 	mu      sync.Mutex
 	live    map[string]bool
+	health  map[string]*workerHealth
 	started bool
 
 	runMu sync.Mutex // one sweep at a time: the journal is per-sweep state
@@ -181,15 +244,20 @@ type Coordinator struct {
 // in-process without sharing state, /statz snapshots them in one pass,
 // and ksetserved exposes them on /metrics.
 type coordMetrics struct {
-	reg                                          *obs.Registry
-	sweeps, sweepsFailed, shardsCommitted        *obs.Counter
-	leasesGranted, leaseExpiries, retries        *obs.Counter
-	hedges, hedgeWins                            *obs.Counter
-	corruptResponses, duplicateResults           *obs.Counter
-	crossCheckMismatches                         *obs.Counter
-	workerDeaths, workerRejoins                  *obs.Counter
-	journalResumes, journalSkips, budgetTrips    *obs.Counter
-	liveWorkers                                  *obs.Gauge
+	reg                                        *obs.Registry
+	sweeps, sweepsFailed, shardsCommitted      *obs.Counter
+	leasesGranted, leaseExpiries, retries      *obs.Counter
+	hedges, hedgeWins                          *obs.Counter
+	corruptResponses, duplicateResults         *obs.Counter
+	crossCheckMismatches                       *obs.Counter
+	workerDeaths, workerRejoins                *obs.Counter
+	journalResumes, journalSkips, budgetTrips  *obs.Counter
+	verifySelected, verifyOK, verifyMismatches *obs.Counter
+	verifyQuorumVotes, verifyLocalArbiter      *obs.Counter
+	verifyOverturned, divergenceEvents         *obs.Counter
+	quarantineTrips, quarantineProbes          *obs.Counter
+	quarantineReadmissions, degraded           *obs.Counter
+	liveWorkers, quarantinedWorkers            *obs.Gauge
 }
 
 func newCoordMetrics() coordMetrics {
@@ -216,7 +284,30 @@ func newCoordMetrics() coordMetrics {
 		journalSkips: r.Counter("kset_dist_coord_journal_skips_total",
 			"shards recovered from the journal (not recomputed)"),
 		budgetTrips: r.Counter("kset_dist_coord_budget_trips_total", "sweeps stopped by the shared budget"),
-		liveWorkers: r.Gauge("kset_dist_coord_live_workers", "workers passing the failure detector"),
+		verifySelected: r.Counter("kset_dist_coord_verify_selected_total",
+			"shards flagged for Byzantine cross-validation"),
+		verifyOK: r.Counter("kset_dist_coord_verify_ok_total",
+			"verifications settled by an agreeing replica"),
+		verifyMismatches: r.Counter("kset_dist_coord_verify_mismatches_total",
+			"verification replicas disagreeing with the committed result"),
+		verifyQuorumVotes: r.Counter("kset_dist_coord_verify_quorum_votes_total",
+			"verification replica votes collected"),
+		verifyLocalArbiter: r.Counter("kset_dist_coord_verify_local_arbiter_total",
+			"verifications arbitrated by deterministic local recompute"),
+		verifyOverturned: r.Counter("kset_dist_coord_verify_overturned_total",
+			"committed shard results replaced by the decided truth"),
+		divergenceEvents: r.Counter("kset_dist_coord_divergence_events_total",
+			"byte-divergence events observed (duplicate cross-checks + verification)"),
+		quarantineTrips: r.Counter("kset_dist_coord_quarantine_trips_total",
+			"workers tripped into quarantine by their divergence score"),
+		quarantineProbes: r.Counter("kset_dist_coord_quarantine_probes_total",
+			"half-open re-admission probes sent to quarantined workers"),
+		quarantineReadmissions: r.Counter("kset_dist_coord_quarantine_readmissions_total",
+			"quarantined workers re-admitted after a passing probe"),
+		degraded: r.Counter("kset_dist_coord_degraded_sweeps_total",
+			"sweeps or counts served by local compute below the trust floor"),
+		liveWorkers:        r.Gauge("kset_dist_coord_live_workers", "workers passing the failure detector"),
+		quarantinedWorkers: r.Gauge("kset_dist_coord_quarantined_workers", "workers quarantined now"),
 	}
 }
 
@@ -232,10 +323,12 @@ func NewCoordinator(cfg CoordConfig) *Coordinator {
 		log:    cfg.Log,
 		met:    newCoordMetrics(),
 		live:   make(map[string]bool, len(cfg.Workers)),
+		health: make(map[string]*workerHealth, len(cfg.Workers)),
 	}
 	for _, w := range cfg.Workers {
 		c.ring.Add(w)
 		c.live[w] = true
+		c.health[w] = &workerHealth{}
 	}
 	c.met.liveWorkers.Set(int64(len(c.live)))
 	return c
@@ -267,9 +360,13 @@ func (c *Coordinator) Start(ctx context.Context) {
 
 // monitor is one worker's failure detector: HeartbeatMisses consecutive
 // failed probes declare it dead (revoking its leases), one success revives
-// it.
+// it. Each probe interval carries seeded ±20% jitter so several
+// coordinators watching the same fleet never synchronize probe bursts, and
+// each tick also gives due half-open quarantine probes a chance to run.
 func (c *Coordinator) monitor(ctx context.Context, worker string) {
-	t := time.NewTicker(c.cfg.HeartbeatEvery)
+	wh := ringHash(worker)
+	var tick uint64
+	t := time.NewTimer(c.probeInterval(wh, tick))
 	defer t.Stop()
 	misses := 0
 	for {
@@ -278,16 +375,31 @@ func (c *Coordinator) monitor(ctx context.Context, worker string) {
 			return
 		case <-t.C:
 		}
+		tick++
+		t.Reset(c.probeInterval(wh, tick))
 		if c.probe(ctx, worker) {
 			misses = 0
 			c.setLive(worker, true)
-			continue
+		} else {
+			misses++
+			if misses >= c.cfg.HeartbeatMisses {
+				c.setLive(worker, false)
+			}
 		}
-		misses++
-		if misses >= c.cfg.HeartbeatMisses {
-			c.setLive(worker, false)
-		}
+		c.maybeProbeQuarantined(ctx)
 	}
+}
+
+// probeInterval is HeartbeatEvery × [0.8, 1.2), deterministic in (seed,
+// worker, tick).
+func (c *Coordinator) probeInterval(workerHash, tick uint64) time.Duration {
+	base := c.cfg.HeartbeatEvery
+	span := uint64(base) * 2 / 5
+	if span == 0 {
+		return base
+	}
+	j := splitmix64(c.cfg.Seed ^ workerHash ^ (tick * 0x9e3779b97f4a7c15))
+	return base*4/5 + time.Duration(j%span)
 }
 
 func (c *Coordinator) probe(ctx context.Context, worker string) bool {
@@ -373,6 +485,19 @@ func (c *Coordinator) Stats() CoordStats {
 		JournalResumes:       u("kset_dist_coord_journal_resumes_total"),
 		JournalSkips:         u("kset_dist_coord_journal_skips_total"),
 		BudgetTrips:          u("kset_dist_coord_budget_trips_total"),
+
+		VerifySelected:         u("kset_dist_coord_verify_selected_total"),
+		VerifyOK:               u("kset_dist_coord_verify_ok_total"),
+		VerifyMismatches:       u("kset_dist_coord_verify_mismatches_total"),
+		VerifyQuorumVotes:      u("kset_dist_coord_verify_quorum_votes_total"),
+		VerifyLocalArbiter:     u("kset_dist_coord_verify_local_arbiter_total"),
+		VerifyOverturned:       u("kset_dist_coord_verify_overturned_total"),
+		DivergenceEvents:       u("kset_dist_coord_divergence_events_total"),
+		QuarantineTrips:        u("kset_dist_coord_quarantine_trips_total"),
+		QuarantineProbes:       u("kset_dist_coord_quarantine_probes_total"),
+		QuarantineReadmissions: u("kset_dist_coord_quarantine_readmissions_total"),
+		QuarantinedWorkers:     int(v["kset_dist_coord_quarantined_workers"]),
+		DegradedSweeps:         u("kset_dist_coord_degraded_sweeps_total"),
 	}
 }
 
@@ -404,6 +529,7 @@ type grant struct {
 	started time.Time
 	cancel  context.CancelFunc
 	hedge   bool
+	verify  bool // a verification re-execution, not a placement grant
 }
 
 // shardState is the coordinator-side life of one rank shard.
@@ -417,6 +543,16 @@ type shardState struct {
 	grants    []*grant
 	nextTry   time.Time
 	lastErr   error
+
+	// Byzantine cross-validation state.
+	committedBy   string            // worker whose bytes committed ("(local)" for degraded compute)
+	journaled     bool              // commit (or correction) written to the journal
+	needVerify    bool              // selected for (or forced into) verification
+	verified      bool              // verification settled
+	arbiter       bool              // local-recompute arbiter in flight
+	votes         map[string][]byte // per-worker result bytes, committer included
+	verifyTried   map[string]bool   // workers already asked to verify (failures included)
+	verifyNextTry time.Time         // backoff after a failed verification attempt
 }
 
 // completion is one grant's outcome, posted by its sender goroutine.
@@ -503,16 +639,30 @@ func (c *Coordinator) run(ctx context.Context, job Job) ([]byte, error) {
 	}()
 
 	budget := NewBudget(job.Budget)
+	v := c.newVerifier(job, op, m, jr)
 	states := make([]*shardState, shards)
 	remaining := 0
 	for i := 0; i < shards; i++ {
 		from, to := par.ShardBounds(total, shards, i)
-		st := &shardState{idx: i, from: from, to: to, key: "shard/" + strconv.Itoa(i)}
+		st := &shardState{
+			idx: i, from: from, to: to, key: "shard/" + strconv.Itoa(i),
+			votes:       map[string][]byte{},
+			verifyTried: map[string]bool{},
+		}
 		if p, ok := commits[i]; ok {
+			// Journal-recovered shards were verified (or accepted) by the
+			// previous incarnation; they are not re-verified.
 			st.committed = true
 			st.result = p
+			st.journaled = true
+			st.verified = true
 		} else {
 			remaining++
+			if v.selected(i) {
+				st.needVerify = true
+				v.pending++
+				c.met.verifySelected.Inc()
+			}
 		}
 		states[i] = st
 	}
@@ -538,21 +688,48 @@ func (c *Coordinator) run(ctx context.Context, job Job) ([]byte, error) {
 		return nil, err
 	}
 
-	for remaining > 0 {
+	for remaining > 0 || v.pending > 0 {
 		now := time.Now()
 
-		// Revoke leases held by workers the failure detector declared dead:
-		// cancelling the grant context fails the send immediately, which
-		// re-dispatches the shard to the next ring replica.
+		// Revoke leases held by workers the failure detector declared dead
+		// or the trust layer quarantined: cancelling the grant context fails
+		// the send immediately, which re-dispatches the shard (or its
+		// verification) to the next ring replica.
 		for _, st := range states {
-			if st.committed {
-				continue
-			}
 			for _, g := range st.grants {
-				if !c.isLive(g.worker) {
+				if !c.eligible(g.worker) {
 					g.cancel()
 				}
 			}
+		}
+
+		// Trust floor: with live-and-trusted workers below the degrade
+		// floor, serve the rest of the sweep from local compute instead of
+		// stalling — immediately if quarantine shrank the fleet, after
+		// NoWorkerGrace if workers are merely dead.
+		if eligible := c.EligibleWorkers(); eligible < c.cfg.DegradeFloor {
+			reason := ""
+			if q := c.QuarantinedWorkers(); q > 0 {
+				reason = fmt.Sprintf("%d live trusted workers (floor %d, %d quarantined)", eligible, c.cfg.DegradeFloor, q)
+			} else if noWorkerSince.IsZero() {
+				noWorkerSince = now
+			} else if now.Sub(noWorkerSince) > c.cfg.NoWorkerGrace {
+				reason = fmt.Sprintf("no live workers for %s", c.cfg.NoWorkerGrace)
+			}
+			if reason != "" {
+				if c.cfg.DisableDegrade {
+					return fail(fmt.Errorf("dist: %s", reason))
+				}
+				c.met.degraded.Inc()
+				c.log.Warnf("dist: degrading sweep to local compute: %s", reason)
+				cancelAll()
+				if err := c.finishLocal(ctx, v, states, total, budget); err != nil {
+					return nil, err
+				}
+				break
+			}
+		} else {
+			noWorkerSince = time.Time{}
 		}
 
 		// Dispatch: fresh grants, backoff retries, straggler hedges.
@@ -570,14 +747,8 @@ func (c *Coordinator) run(ctx context.Context, job Job) ([]byte, error) {
 				}
 				target, ok := c.pickWorker(st.key, st.attempts)
 				if !ok {
-					if noWorkerSince.IsZero() {
-						noWorkerSince = now
-					} else if now.Sub(noWorkerSince) > c.cfg.NoWorkerGrace {
-						return fail(fmt.Errorf("dist: no live workers for %s", c.cfg.NoWorkerGrace))
-					}
 					continue
 				}
-				noWorkerSince = time.Time{}
 				c.launch(runCtx, job, st, target, false, done)
 				continue
 			}
@@ -598,6 +769,11 @@ func (c *Coordinator) run(ctx context.Context, job Job) ([]byte, error) {
 			c.launch(runCtx, job, st, target, true, done)
 		}
 
+		// Verification probes for committed-but-unsettled shards, and
+		// half-open re-admission probes for quarantined workers.
+		v.dispatch(runCtx, states, done, now)
+		c.maybeProbeQuarantined(runCtx)
+
 		select {
 		case <-runCtx.Done():
 			return fail(fmt.Errorf("dist: sweep aborted: %w", context.Cause(runCtx)))
@@ -610,14 +786,20 @@ func (c *Coordinator) run(ctx context.Context, job Job) ([]byte, error) {
 					break
 				}
 			}
+			if comp.g.verify {
+				if err := v.onCompletion(st, comp); err != nil {
+					return fail(err)
+				}
+				continue
+			}
 			if st.committed {
 				// First-committed wins; a duplicate completion (hedge or
-				// retry racing the winner) only cross-checks.
+				// retry racing the winner) cross-checks — an agreeing one is
+				// a free confirming vote, a disagreeing one is a recorded
+				// divergence event forcing the shard into verification.
 				if comp.err == nil {
-					c.met.duplicateResults.Inc()
-					if !bytes.Equal(comp.payload, st.result) {
-						c.met.crossCheckMismatches.Inc()
-						c.log.Errorf("dist: shard %d: duplicate result from %s DISAGREES with committed result", st.idx, comp.g.worker)
+					if err := v.onDuplicate(st, comp); err != nil {
+						return fail(err)
 					}
 				}
 				continue
@@ -630,6 +812,7 @@ func (c *Coordinator) run(ctx context.Context, job Job) ([]byte, error) {
 				if errors.Is(comp.err, context.DeadlineExceeded) || errors.Is(comp.err, context.Canceled) {
 					c.met.leaseExpiries.Inc()
 				}
+				c.recordFailure(comp.g.worker, failureWeight(comp.err))
 				c.met.retries.Inc()
 				st.nextTry = now.Add(c.backoff(st.idx, st.attempts))
 				continue
@@ -637,18 +820,24 @@ func (c *Coordinator) run(ctx context.Context, job Job) ([]byte, error) {
 			// Commit. The fault hook models the coordinator being killed at
 			// this exact commit point: the shard is NOT journaled and the
 			// sweep dies; a restart resumes from the journaled prefix.
+			// Verify-selected shards journal at verification settlement
+			// instead, so a warm restart never trusts unverified bytes.
 			if err := faultinject.Hit(faultinject.PointDistCommit); err != nil {
 				return fail(fmt.Errorf("dist: coordinator killed at commit of shard %d: %w", st.idx, err))
 			}
-			if jr != nil {
+			if jr != nil && !st.needVerify {
 				if err := jr.Append(st.idx, comp.payload); err != nil {
 					return fail(err)
 				}
+				st.journaled = true
 			}
 			st.committed = true
+			st.committedBy = comp.g.worker
 			st.result = comp.payload
+			st.votes[comp.g.worker] = comp.payload
 			remaining--
 			c.met.shardsCommitted.Inc()
+			c.recordSuccess(comp.g.worker)
 			obs.ImportSpans(comp.spans)
 			samples = append(samples, comp.elapsed)
 			if comp.g.hedge {
@@ -678,15 +867,18 @@ func (c *Coordinator) run(ctx context.Context, job Job) ([]byte, error) {
 	return out, nil
 }
 
-// pickWorker resolves attempt number `attempt` of a shard to a live worker:
-// the shard's ring sequence (owner first, then the deterministic handoff
-// order) filtered to live members, indexed cyclically by attempt.
+// pickWorker resolves attempt number `attempt` of a shard to an eligible
+// worker: the shard's ring sequence (owner first, then the deterministic
+// handoff order) filtered to live, non-quarantined members, indexed
+// cyclically by attempt. Quarantined workers are skipped entirely — their
+// vnodes never appear in the candidate set, so attempts are never burned
+// against them.
 func (c *Coordinator) pickWorker(key string, attempt int) (string, bool) {
 	seq := c.ring.Sequence(key, len(c.cfg.Workers))
 	c.mu.Lock()
 	liveSeq := seq[:0:0]
 	for _, w := range seq {
-		if c.live[w] {
+		if h := c.health[w]; c.live[w] && (h == nil || !h.quarantined) {
 			liveSeq = append(liveSeq, w)
 		}
 	}
@@ -816,7 +1008,13 @@ func (c *Coordinator) CountClosure(ctx context.Context, m *model.ClosedAbove) (i
 	if err != nil || size < c.cfg.MinRanks {
 		return 0, false, nil
 	}
-	if c.LiveWorkers() == 0 {
+	if c.EligibleWorkers() == 0 {
+		if q := c.QuarantinedWorkers(); q > 0 {
+			// Degraded serving: the fleet is up but untrusted, so the
+			// caller's local engine answers.
+			c.met.degraded.Inc()
+			c.log.Warnf("dist: no live trusted workers (%d quarantined); serving count from the local engine", q)
+		}
 		return 0, false, nil
 	}
 	out, err := c.Run(ctx, Job{Op: OpCount, Model: cli.FormatModel(m), Budget: c.cfg.SweepBudget})

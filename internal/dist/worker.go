@@ -1,7 +1,9 @@
 package dist
 
 import (
+	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -15,6 +17,7 @@ import (
 	"ksettop/internal/checkpoint"
 	"ksettop/internal/cli"
 	"ksettop/internal/faultinject"
+	"ksettop/internal/memo"
 	"ksettop/internal/model"
 	"ksettop/internal/obs"
 )
@@ -61,12 +64,12 @@ func (c WorkerConfig) withDefaults() WorkerConfig {
 
 // WorkerStats is the /statz counter snapshot of one worker.
 type WorkerStats struct {
-	Execs         uint64 `json:"execs"`          // shard executions completed successfully
-	ExecErrors    uint64 `json:"exec_errors"`    // shard executions that failed (injected faults included)
-	Panics        uint64 `json:"panics"`         // recovered handler panics
-	Overloaded    uint64 `json:"overloaded"`     // shed at admission (503)
-	Heartbeats    uint64 `json:"heartbeats"`     // heartbeat probes answered
-	InFlight      int64  `json:"in_flight"`      // shards computing now
+	Execs         uint64 `json:"execs"`       // shard executions completed successfully
+	ExecErrors    uint64 `json:"exec_errors"` // shard executions that failed (injected faults included)
+	Panics        uint64 `json:"panics"`      // recovered handler panics
+	Overloaded    uint64 `json:"overloaded"`  // shed at admission (503)
+	Heartbeats    uint64 `json:"heartbeats"`  // heartbeat probes answered
+	InFlight      int64  `json:"in_flight"`   // shards computing now
 	UptimeSeconds int64  `json:"uptime_seconds"`
 }
 
@@ -84,6 +87,10 @@ type Worker struct {
 	shards *shardTable
 
 	boundAddr atomic.Pointer[string]
+	// lastPayload is the previous shard result, kept only while the fault
+	// registry is armed: it is the stale bytes a dist.lie.replay rule makes
+	// the worker serve in place of a fresh result.
+	lastPayload atomic.Pointer[[]byte]
 
 	reg        *obs.Registry
 	execs      *obs.Counter
@@ -302,10 +309,14 @@ func (w *Worker) handleExec(rw http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	// Byzantine lies are applied BEFORE checksumming: the response stays
+	// well-formed and CRC-consistent, so only the coordinator's quorum
+	// cross-validation can catch it.
+	payload = w.applyLies(payload)
 	resp := ExecResponse{CRC: crc32.ChecksumIEEE(payload), Ranks: req.To - req.From}
-	// Corruption is injected AFTER checksumming: a lying worker's bytes do
-	// not match its own checksum, which is exactly what the coordinator's
-	// verification path must catch.
+	// Transport corruption is injected AFTER checksumming: the bytes no
+	// longer match their own checksum, which is exactly what the
+	// coordinator's CRC check must catch.
 	faultinject.Corrupt(faultinject.PointDistResult, payload)
 	resp.Payload = payload
 	w.execs.Inc()
@@ -314,6 +325,60 @@ func (w *Worker) handleExec(rw http.ResponseWriter, r *http.Request) {
 		resp.Spans = collector.Spans()
 	}
 	writeWorkerJSON(rw, http.StatusOK, resp)
+}
+
+// applyLies gives the armed fault registry its chance to turn this worker
+// into a liar (the dist.lie.* points): each mutation keeps the payload
+// well-formed — a plausible count, a shorter or reordered enum, a stale
+// replay — and runs before the response CRC is computed, so the checksum
+// vouches for the lie. With nothing armed this is one atomic load.
+func (w *Worker) applyLies(payload []byte) []byte {
+	if !faultinject.Enabled() {
+		return payload
+	}
+	if faultinject.Hit(faultinject.PointDistLieCount) != nil {
+		payload = lieCountOffByOne(payload)
+	}
+	if err := faultinject.Hit(faultinject.PointDistLieEnum); err != nil {
+		var ie *faultinject.InjectedError
+		odd := errors.As(err, &ie) && ie.Nth%2 == 1
+		payload = lieEnumBytes(payload, odd)
+	}
+	if faultinject.Hit(faultinject.PointDistLieReplay) != nil {
+		if prev := w.lastPayload.Load(); prev != nil && len(*prev) > 0 {
+			payload = append([]byte(nil), *prev...)
+		}
+	}
+	stale := append([]byte(nil), payload...)
+	w.lastPayload.Store(&stale)
+	return payload
+}
+
+// lieCountOffByOne re-encodes a uvarint count payload as count+1. A payload
+// that is not a bare uvarint gets a trailing zero byte instead — still a
+// plausible-looking, CRC-consistent divergence.
+func lieCountOffByOne(payload []byte) []byte {
+	br := bytes.NewReader(payload)
+	n, err := binary.ReadUvarint(br)
+	if err != nil || br.Len() != 0 {
+		return append(append([]byte(nil), payload...), 0)
+	}
+	var buf bytes.Buffer
+	memo.WriteUvarint(&buf, n+1)
+	return buf.Bytes()
+}
+
+// lieEnumBytes drops the last byte (truncate) or rotates the payload left by
+// one (permute) — both CRC-consistent, both wrong.
+func lieEnumBytes(payload []byte, truncate bool) []byte {
+	if len(payload) == 0 {
+		return []byte{0}
+	}
+	if truncate {
+		return append([]byte(nil), payload[:len(payload)-1]...)
+	}
+	out := append([]byte(nil), payload[1:]...)
+	return append(out, payload[0])
 }
 
 func (w *Worker) handleHeartbeat(rw http.ResponseWriter, r *http.Request) {

@@ -39,10 +39,20 @@ const (
 	// rules model crashed, stalled or lying workers; coordinator-side rules
 	// model a coordinator killed mid-sweep and a journal rotting on disk.
 	PointDistExec      = "dist.exec"      // worker: before a shard executes (error = shard failure, panic = worker crash, delay = straggler)
-	PointDistResult    = "dist.result"    // worker: result payload AFTER checksumming (corrupt = lying worker, caught by CRC)
+	PointDistResult    = "dist.result"    // worker: result payload AFTER checksumming (corrupt = transport corruption, caught by CRC)
 	PointDistHeartbeat = "dist.heartbeat" // worker: heartbeat handler (error = network partition from the coordinator)
 	PointDistCommit    = "dist.commit"    // coordinator: before a shard commit is journaled (error = coordinator killed at that commit point)
 	PointDistJournal   = "dist.journal"   // coordinator: journal byte stream on warm-restart load
+
+	// Byzantine lie sites in the worker: each mutates a shard result BEFORE
+	// the response checksum is computed, so the wire payload is well-formed
+	// and CRC-consistent but WRONG — invisible to the coordinator's
+	// corruption check, catchable only by quorum cross-validation. Arm them
+	// with error-action rules; the rule firing is the lie trigger (no error
+	// ever escapes the worker, it just lies).
+	PointDistLieCount  = "dist.lie.count"  // worker: off-by-one count payload
+	PointDistLieEnum   = "dist.lie.enum"   // worker: truncated (odd hits) / rotated (even hits) enum payload
+	PointDistLieReplay = "dist.lie.replay" // worker: replays its previous (stale) shard result
 
 	// Durable-run checkpoint sites (internal/checkpoint). Write/fsync errors
 	// model a full disk or a crash between write and rename; a corrupt rule
